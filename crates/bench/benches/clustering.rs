@@ -1,0 +1,46 @@
+//! Criterion benches for Algorithm 1 — the §III-A complexity claim:
+//! O(MN + |A|·M log M), bounded by O(MN log M).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use wrsn_core::{balanced_clusters, CoverageMap};
+use wrsn_geom::Point2;
+
+fn deployment(n: usize, m: usize, seed: u64) -> (Vec<Point2>, Vec<Point2>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let sensors = (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)))
+        .collect();
+    let targets = (0..m)
+        .map(|_| Point2::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)))
+        .collect();
+    (sensors, targets)
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balanced_clustering");
+    for &(n, m) in &[(100usize, 5usize), (500, 15), (1000, 15), (2000, 30)] {
+        let (sensors, targets) = deployment(n, m, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n}_M{m}")),
+            &(sensors, targets),
+            |b, (s, t)| {
+                b.iter(|| {
+                    let cov = CoverageMap::build(s, t, 8.0);
+                    balanced_clusters(&cov)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coverage_map_only(c: &mut Criterion) {
+    let (sensors, targets) = deployment(500, 15, 3);
+    c.bench_function("coverage_map_500x15", |b| {
+        b.iter(|| CoverageMap::build(&sensors, &targets, 8.0))
+    });
+}
+
+criterion_group!(benches, bench_clustering, bench_coverage_map_only);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benches for the recharge schedulers — the §IV-E complexity
+//! claims (Eqs. 16–20): greedy is O(n²) over the recharge list; the
+//! insertion builder is O(n²)–O(n³); Partition adds the K-means cost but
+//! divides the list by m; Combined pays the global insertion per RV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use wrsn_core::{
+    CombinedPolicy, DeadlinePolicy, GreedyPolicy, InsertionPolicy, PartitionPolicy, RechargePolicy,
+    RechargeRequest, RvId, RvState, SavingsPolicy, ScheduleInput, SensorId,
+};
+use wrsn_geom::Point2;
+
+fn synthetic_input(n: usize, m: usize, seed: u64) -> ScheduleInput {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let requests = (0..n)
+        .map(|i| RechargeRequest {
+            sensor: SensorId(i as u32),
+            position: Point2::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)),
+            demand: rng.gen_range(2_000.0..8_000.0),
+            cluster: None,
+            critical: false,
+        })
+        .collect();
+    let rvs = (0..m)
+        .map(|i| RvState {
+            id: RvId(i as u32),
+            position: Point2::new(100.0, 100.0),
+            available_energy: 135e3,
+        })
+        .collect();
+    ScheduleInput {
+        requests,
+        rvs,
+        base: Point2::new(100.0, 100.0),
+        cost_per_m: 5.6,
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    for &n in &[10usize, 25, 50, 100, 200] {
+        let input = synthetic_input(n, 3, 7);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &input, |b, inp| {
+            b.iter(|| GreedyPolicy.plan(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("insertion", n), &input, |b, inp| {
+            b.iter(|| InsertionPolicy.plan(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("partition", n), &input, |b, inp| {
+            let policy = PartitionPolicy::new(1);
+            b.iter(|| policy.plan(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("combined", n), &input, |b, inp| {
+            b.iter(|| CombinedPolicy.plan(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("savings", n), &input, |b, inp| {
+            b.iter(|| SavingsPolicy.plan(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("deadline", n), &input, |b, inp| {
+            let policy = DeadlinePolicy::default();
+            b.iter(|| policy.plan(inp))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_width(c: &mut Criterion) {
+    // Eq. (19)/(20): Partition divides the list into m groups while
+    // Combined re-plans globally per RV — scaling in the RV count.
+    let mut group = c.benchmark_group("fleet_width");
+    for &m in &[1usize, 3, 6, 12] {
+        let input = synthetic_input(100, m, 11);
+        group.bench_with_input(BenchmarkId::new("partition", m), &input, |b, inp| {
+            let policy = PartitionPolicy::new(1);
+            b.iter(|| policy.plan(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("combined", m), &input, |b, inp| {
+            b.iter(|| CombinedPolicy.plan(inp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_fleet_width);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for the simulation engine: simulated-time throughput
+//! at the paper's Table II scale and at the quarter scale the tests use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wrsn_sim::{SimConfig, World};
+
+fn bench_paper_scale_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_day");
+    group.sample_size(10);
+    group.bench_function("paper_scale_500_sensors", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_defaults();
+            cfg.duration_s = 86_400.0;
+            cfg.duration_days = 1.0;
+            World::new(&cfg, 1).run()
+        })
+    });
+    group.bench_function("quarter_scale_125_sensors", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::small(1.0);
+            World::new(&cfg, 1).run()
+        })
+    });
+    group.finish();
+}
+
+fn bench_world_construction(c: &mut Criterion) {
+    c.bench_function("world_new_paper_scale", |b| {
+        let cfg = SimConfig::paper_defaults();
+        b.iter(|| World::new(&cfg, 1))
+    });
+}
+
+criterion_group!(benches, bench_paper_scale_day, bench_world_construction);
+criterion_main!(benches);

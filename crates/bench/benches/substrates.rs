@@ -1,0 +1,100 @@
+//! Criterion benches for the substrate crates: spatial index queries,
+//! Dijkstra routing at deployment scale, K-means, and the TSP solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use wrsn_geom::{GridIndex, Point2};
+use wrsn_net::{relay_loads, shortest_paths, CommGraph, RoutingTree};
+use wrsn_opt::{
+    held_karp_tour, improve_tour, kmeans, nearest_neighbor_tour, two_opt, DistMatrix, KMeansConfig,
+};
+
+fn points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)))
+        .collect()
+}
+
+fn bench_grid_index(c: &mut Criterion) {
+    let pts = points(500, 1);
+    let grid = GridIndex::build(&pts, 8.0);
+    c.bench_function("grid_build_500", |b| b.iter(|| GridIndex::build(&pts, 8.0)));
+    c.bench_function("grid_query_500", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % pts.len();
+            grid.within(pts[i], 12.0)
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let pts = points(501, 2);
+    let graph = CommGraph::build(&pts, 12.0);
+    c.bench_function("comm_graph_build_501", |b| {
+        b.iter(|| CommGraph::build(&pts, 12.0))
+    });
+    c.bench_function("dijkstra_501", |b| b.iter(|| shortest_paths(&graph, 0)));
+    c.bench_function("routing_tree_and_loads_501", |b| {
+        let gen: Vec<f64> = (0..graph.len())
+            .map(|i| if i % 10 == 0 { 0.25 } else { 0.0 })
+            .collect();
+        b.iter(|| {
+            let tree = RoutingTree::toward(&graph, 0);
+            relay_loads(&tree, &gen)
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &n in &[50usize, 200, 500] {
+        let pts = points(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                kmeans(pts, 3, &KMeansConfig::default(), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsp");
+    for &n in &[8usize, 12] {
+        let m = DistMatrix::from_points(&points(n, 4));
+        group.bench_with_input(BenchmarkId::new("held_karp", n), &m, |b, m| {
+            b.iter(|| held_karp_tour(m))
+        });
+    }
+    for &n in &[10usize, 50, 200] {
+        let m = DistMatrix::from_points(&points(n, 4));
+        group.bench_with_input(BenchmarkId::new("nearest_neighbor", n), &m, |b, m| {
+            b.iter(|| nearest_neighbor_tour(m, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("nn_plus_2opt", n), &m, |b, m| {
+            b.iter(|| {
+                let mut tour = nearest_neighbor_tour(m, 0);
+                two_opt(m, &mut tour);
+                tour
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_stack_nn_2opt_oropt", n),
+            &m,
+            |b, m| b.iter(|| improve_tour(m, 0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_index,
+    bench_routing,
+    bench_kmeans,
+    bench_tsp
+);
+criterion_main!(benches);

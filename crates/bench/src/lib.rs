@@ -1,0 +1,229 @@
+//! Shared experiment harness for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary in `src/bin/` sweeps a parameter grid of 120-day
+//! simulations at the paper's Table II scale, prints the figure's series as
+//! an aligned table, and writes CSV under `results/`. Runs in a sweep are
+//! independent, so they fan out over worker threads (`crossbeam::scope`).
+//!
+//! Common CLI flags (parsed by [`ExpOptions::from_args`]):
+//!
+//! * `--quick` — quarter-scale network and 12 simulated days, for smoke
+//!   runs and CI (≈ seconds instead of minutes);
+//! * `--days N` — override the simulated duration;
+//! * `--seeds N` — average every grid point over `N` seeds (default 1,
+//!   the paper's single-run style).
+
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use wrsn_metrics::{EvalReport, Summary};
+use wrsn_sim::{SimConfig, World};
+
+/// Options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Simulated days per run.
+    pub days: f64,
+    /// Seeds averaged per grid point.
+    pub seeds: u64,
+    /// Quarter-scale quick mode.
+    pub quick: bool,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            days: 120.0,
+            seeds: 1,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `--quick`, `--days N`, `--seeds N`, `--out DIR` from argv.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    opts.days = 12.0;
+                }
+                "--days" => {
+                    let v = args.next().expect("--days needs a value");
+                    opts.days = v.parse().expect("--days must be a number");
+                }
+                "--seeds" => {
+                    let v = args.next().expect("--seeds needs a value");
+                    opts.seeds = v.parse().expect("--seeds must be an integer");
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+                }
+                other => {
+                    panic!("unknown flag {other}; supported: --quick --days N --seeds N --out DIR")
+                }
+            }
+        }
+        opts
+    }
+
+    /// The base configuration for this experiment scale.
+    pub fn base_config(&self) -> SimConfig {
+        let mut cfg = if self.quick {
+            SimConfig::small(self.days)
+        } else {
+            SimConfig::paper_defaults()
+        };
+        if self.quick {
+            cfg.min_batch_demand_j = 20e3;
+        }
+        cfg.duration_s = self.days * 86_400.0;
+        cfg.duration_days = self.days;
+        cfg
+    }
+}
+
+/// A single grid point: a label and a ready-to-run configuration.
+pub struct GridPoint {
+    /// Row label in the output table.
+    pub label: String,
+    /// The configuration to simulate.
+    pub config: SimConfig,
+}
+
+/// Mean report across seeds for one grid point.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// The grid point's label.
+    pub label: String,
+    /// Mean of each metric over the seeds.
+    pub report: EvalReport,
+    /// Standard deviation of the travel-energy metric (0 for one seed) —
+    /// a cheap stability indicator for the sweep tables.
+    pub travel_std_mj: f64,
+}
+
+/// Runs every `(grid point, seed)` pair across worker threads and averages
+/// per point. Order of the results matches the input grid.
+pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
+    let jobs: Vec<(usize, u64)> = (0..grid.len())
+        .flat_map(|g| (0..seeds).map(move |s| (g, s)))
+        .collect();
+    let reports: Mutex<Vec<Vec<EvalReport>>> = Mutex::new(vec![Vec::new(); grid.len()]);
+    let next: Mutex<usize> = Mutex::new(0);
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job = {
+                    let mut n = next.lock();
+                    if *n >= jobs.len() {
+                        return;
+                    }
+                    let j = jobs[*n];
+                    *n += 1;
+                    j
+                };
+                let (g, seed) = job;
+                let outcome = World::new(&grid[g].config, seed).run();
+                reports.lock()[g].push(outcome.report);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let reports = reports.into_inner();
+    grid.into_iter()
+        .zip(reports)
+        .map(|(point, mut rs)| {
+            // Seed order may differ per thread timing; sort for determinism.
+            rs.sort_by(|a, b| a.travel_energy_mj.total_cmp(&b.travel_energy_mj));
+            let mean = mean_report(&rs);
+            let travel: Vec<f64> = rs.iter().map(|r| r.travel_energy_mj).collect();
+            let travel_std_mj = Summary::of(&travel).map(|s| s.std_dev).unwrap_or(0.0);
+            GridResult {
+                label: point.label,
+                report: mean,
+                travel_std_mj,
+            }
+        })
+        .collect()
+}
+
+fn mean_report(rs: &[EvalReport]) -> EvalReport {
+    let n = rs.len().max(1) as f64;
+    let avg = |f: fn(&EvalReport) -> f64| rs.iter().map(f).sum::<f64>() / n;
+    EvalReport {
+        travel_distance_m: avg(|r| r.travel_distance_m),
+        travel_energy_mj: avg(|r| r.travel_energy_mj),
+        recharged_mj: avg(|r| r.recharged_mj),
+        objective_mj: avg(|r| r.objective_mj),
+        coverage_ratio_pct: avg(|r| r.coverage_ratio_pct),
+        missing_rate_pct: avg(|r| r.missing_rate_pct),
+        nonfunctional_pct: avg(|r| r.nonfunctional_pct),
+        recharging_cost_m_per_sensor: avg(|r| r.recharging_cost_m_per_sensor),
+        recharge_visits: (rs.iter().map(|r| r.recharge_visits).sum::<u64>() as f64 / n) as u64,
+    }
+}
+
+/// The ERP sweep the paper's Figs. 5–7 use on their x axes.
+pub fn erp_sweep() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::SchedulerKind;
+
+    #[test]
+    fn grid_runs_in_parallel_and_keeps_order() {
+        let mk = |label: &str, seed_days: f64| {
+            let mut cfg = SimConfig::small(seed_days);
+            cfg.num_sensors = 40;
+            cfg.num_targets = 2;
+            cfg.scheduler = SchedulerKind::Greedy;
+            GridPoint {
+                label: label.to_string(),
+                config: cfg,
+            }
+        };
+        let results = run_grid(vec![mk("a", 0.2), mk("b", 0.2)], 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "a");
+        assert_eq!(results[1].label, "b");
+        assert!(results[0].report.coverage_ratio_pct >= 0.0);
+    }
+
+    #[test]
+    fn erp_sweep_covers_unit_interval() {
+        let s = erp_sweep();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[10], 1.0);
+    }
+
+    #[test]
+    fn quick_mode_shrinks_the_network() {
+        let opts = ExpOptions {
+            quick: true,
+            days: 5.0,
+            ..Default::default()
+        };
+        let cfg = opts.base_config();
+        assert!(cfg.num_sensors < 500);
+        assert_eq!(cfg.duration_days, 5.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Tiny hand-rolled flag parser (the workspace's sanctioned dependency set
+//! has no CLI crate, and the surface is small enough not to need one).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--flag value` / `--flag` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first non-flag token.
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw tokens. A token starting with `--` is a flag; it consumes
+    /// the next token as its value unless that also starts with `--` (then
+    /// it is boolean). The first non-flag token becomes the subcommand.
+    ///
+    /// # Errors
+    /// Returns a message for stray non-flag tokens after the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => String::from("true"),
+                };
+                out.flags.insert(name.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(format!("unexpected argument `{tok}`"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string flag.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Numeric flag with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Boolean flag (present ⇒ true).
+    pub fn is_set(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse("run --days 12 --scheduler combined --quick");
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.num("days", 0.0).unwrap(), 12.0);
+        assert_eq!(a.get("scheduler", "greedy"), "combined");
+        assert!(a.is_set("quick"));
+        assert!(!a.is_set("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("run");
+        assert_eq!(a.num("seed", 7u64).unwrap(), 7);
+        assert_eq!(a.get("scheduler", "combined"), "combined");
+        assert!(a.opt("trace").is_none());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse("run --days banana");
+        assert!(a.num("days", 1.0).is_err());
+    }
+
+    #[test]
+    fn stray_token_is_an_error() {
+        assert!(Args::parse(["run".into(), "extra".into()]).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_before_another_flag() {
+        let a = parse("run --quick --days 3");
+        assert!(a.is_set("quick"));
+        assert_eq!(a.num("days", 0.0).unwrap(), 3.0);
+    }
+}

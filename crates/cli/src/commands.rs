@@ -1,0 +1,392 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use wrsn_core::{balanced_clusters, CoverageMap, SchedulerKind};
+use wrsn_geom::{min_sensors_for_coverage, Field};
+use wrsn_metrics::Table;
+use wrsn_net::{CommGraph, RoutingTree};
+use wrsn_sim::{SimConfig, World};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+wrsn — joint wireless charging and sensor activity management (ICPP'15)
+
+USAGE:
+  wrsn run      [--days N] [--sensors N] [--targets N] [--rvs N] [--field M]
+                [--scheduler NAME] [--erp K] [--no-rr] [--seed S]
+                [--failures RATE] [--trace FILE]
+  wrsn watch    [same flags as run] [--frames N] [--width COLS] [--fps N]
+  wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
+  wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
+  wrsn analyze  [--sensors N] [--targets N] [--rvs N] [--utilization F]
+  wrsn schedulers
+
+Defaults follow the paper's Table II (500 sensors, 15 targets, 3 RVs,
+200 m field, 120 days). `--scheduler` names: greedy, insertion,
+partition, combined, savings, deadline.";
+
+fn scheduler_by_name(name: &str) -> Result<SchedulerKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "greedy" => Ok(SchedulerKind::Greedy),
+        "insertion" => Ok(SchedulerKind::Insertion),
+        "partition" => Ok(SchedulerKind::Partition),
+        "combined" => Ok(SchedulerKind::Combined),
+        "savings" | "clarke-wright" | "cw" => Ok(SchedulerKind::Savings),
+        "deadline" => Ok(SchedulerKind::Deadline),
+        other => Err(format!(
+            "unknown scheduler `{other}` (try `wrsn schedulers`)"
+        )),
+    }
+}
+
+fn config_from(args: &Args) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.num_sensors = args.num("sensors", cfg.num_sensors)?;
+    cfg.num_targets = args.num("targets", cfg.num_targets)?;
+    cfg.num_rvs = args.num("rvs", cfg.num_rvs)?;
+    cfg.field_side = args.num("field", cfg.field_side)?;
+    let days: f64 = args.num("days", cfg.duration_days)?;
+    cfg.duration_s = days * 86_400.0;
+    cfg.duration_days = days;
+    cfg.scheduler = scheduler_by_name(&args.get("scheduler", "combined"))?;
+    if args.is_set("no-rr") {
+        cfg.activity.round_robin = false;
+    }
+    if let Some(k) = args.opt("erp") {
+        if k.eq_ignore_ascii_case("off") {
+            cfg.activity.erp = None;
+        } else {
+            cfg.activity.erp = Some(
+                k.parse()
+                    .map_err(|_| format!("--erp: cannot parse `{k}`"))?,
+            );
+        }
+    }
+    cfg.permanent_failures_per_day = args.num("failures", 0.0)?;
+    Ok(cfg)
+}
+
+/// `wrsn run` — one simulation, report to stdout, optional trace CSV.
+pub fn run(args: &Args) -> Result<(), String> {
+    let cfg = config_from(args)?;
+    let seed: u64 = args.num("seed", 0)?;
+    eprintln!(
+        "running {} sensors / {} targets / {} RVs on {:.0} m field for {} days ({}, seed {seed})…",
+        cfg.num_sensors,
+        cfg.num_targets,
+        cfg.num_rvs,
+        cfg.field_side,
+        cfg.duration_days,
+        cfg.scheduler
+    );
+    let mut world = World::new(&cfg, seed);
+    let trace_path = args.opt("trace").map(str::to_owned);
+    if trace_path.is_some() {
+        world.enable_trace(1_000_000);
+    }
+    let out = world.run();
+    let r = &out.report;
+
+    println!("travel distance      : {:>12.0} m", r.travel_distance_m);
+    println!("traveling energy     : {:>12.4} MJ", r.travel_energy_mj);
+    println!(
+        "energy recharged     : {:>12.4} MJ ({} services)",
+        r.recharged_mj, r.recharge_visits
+    );
+    println!("objective (Eq. 2)    : {:>12.4} MJ", r.objective_mj);
+    println!("coverage ratio       : {:>12.2} %", r.coverage_ratio_pct);
+    println!("missing rate         : {:>12.2} %", r.missing_rate_pct);
+    println!("nonfunctional        : {:>12.2} %", r.nonfunctional_pct);
+    println!(
+        "recharging cost      : {:>12.1} m/sensor",
+        r.recharging_cost_m_per_sensor
+    );
+    println!("alive at end         : {:>12}", out.final_alive);
+    if out.permanent_failures > 0 {
+        println!("hardware failures    : {:>12}", out.permanent_failures);
+    }
+
+    if let Some(path) = trace_path {
+        std::fs::write(&path, world.trace().to_csv())
+            .map_err(|e| format!("writing trace {path}: {e}"))?;
+        eprintln!(
+            "wrote {} trace events to {path} ({} dropped by cap)",
+            world.trace().events().len(),
+            world.trace().dropped()
+        );
+    }
+    Ok(())
+}
+
+/// `wrsn watch` — live ASCII view of the field while the simulation runs.
+pub fn watch(args: &Args) -> Result<(), String> {
+    let cfg = config_from(args)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let frames: usize = args.num("frames", 120usize)?;
+    let width: usize = args.num("width", 80usize)?;
+    let fps: f64 = args.num("fps", 10.0)?;
+    if fps <= 0.0 {
+        return Err("--fps must be positive".into());
+    }
+    let mut world = World::new(&cfg, seed);
+    let steps_per_frame = ((cfg.duration_s / cfg.tick_s) / frames as f64).max(1.0) as usize;
+    for _ in 0..frames {
+        for _ in 0..steps_per_frame {
+            if world.finished() {
+                break;
+            }
+            world.step();
+        }
+        // ANSI clear + home, then the frame.
+        print!(
+            "\x1b[2J\x1b[H{}",
+            wrsn_sim::render::render_field(&world, width)
+        );
+        if world.finished() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(1.0 / fps));
+    }
+    let out = world.outcome();
+    println!(
+        "final: travel {:.3} MJ, recharged {:.3} MJ, coverage {:.1} %",
+        out.report.travel_energy_mj, out.report.recharged_mj, out.report.coverage_ratio_pct
+    );
+    Ok(())
+}
+
+/// `wrsn sweep` — ERP sweep for one scheduler.
+pub fn sweep(args: &Args) -> Result<(), String> {
+    let base = config_from(args)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let points: usize = args.num("points", 6)?;
+    if points < 2 {
+        return Err("--points must be at least 2".into());
+    }
+    let mut table = Table::new(
+        &format!(
+            "{} — ERP sweep, {} days, seed {seed}",
+            base.scheduler, base.duration_days
+        ),
+        &["ERP", "travel MJ", "recharged MJ", "coverage %", "dead %"],
+    );
+    for i in 0..points {
+        let k = i as f64 / (points - 1) as f64;
+        let mut cfg = base.clone();
+        cfg.activity.erp = Some(k);
+        let out = World::new(&cfg, seed).run();
+        table.row_f64(
+            &format!("{k:.2}"),
+            &[
+                out.report.travel_energy_mj,
+                out.report.recharged_mj,
+                out.report.coverage_ratio_pct,
+                out.report.nonfunctional_pct,
+            ],
+            3,
+        );
+        eprint!(".");
+    }
+    eprintln!();
+    print!("{}", table.render());
+    Ok(())
+}
+
+/// `wrsn inspect` — deployment diagnostics without running a simulation.
+pub fn inspect(args: &Args) -> Result<(), String> {
+    let n: usize = args.num("sensors", 500usize)?;
+    let m: usize = args.num("targets", 15usize)?;
+    let side: f64 = args.num("field", 200.0)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let sensing: f64 = args.num("sensing-range", 8.0)?;
+    let comm: f64 = args.num("comm-range", 12.0)?;
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let field = Field::new(side);
+    let sensors = field.deploy_uniform(n, &mut rng);
+    let targets: Vec<_> = (0..m).map(|_| field.random_point(&mut rng)).collect();
+
+    println!("deployment: {n} sensors, {m} targets, {side:.0} m field (seed {seed})");
+    println!(
+        "Eq. (1) minimum sensors for full coverage: {}",
+        min_sensors_for_coverage(field.area(), sensing)
+    );
+
+    // Connectivity to the base station.
+    let mut nodes = vec![field.center()];
+    nodes.extend_from_slice(&sensors);
+    let graph = CommGraph::build(&nodes, comm);
+    let tree = RoutingTree::toward(&graph, 0);
+    // Every sensor generating the paper's λ: where does traffic pile up?
+    let mut gen = vec![15.0 / 60.0; nodes.len()];
+    gen[0] = 0.0;
+    let stats = wrsn_net::network_stats(&tree, &gen);
+    println!(
+        "connectivity: {}/{n} sensors reach the base station ({} edges)",
+        stats.connected,
+        graph.edge_count()
+    );
+    println!(
+        "routing: hops max {} / mean {:.1}; mean path {:.0} m",
+        stats.max_hops, stats.mean_hops, stats.mean_path_m
+    );
+    if let Some((node, pps)) = stats.busiest_relay {
+        println!(
+            "bottleneck: node {} relays {:.2} pkt/s of the sink's {:.2} pkt/s",
+            node - 1,
+            pps,
+            stats.sink_rx_pps
+        );
+    }
+
+    // Coverage and clusters.
+    let cov = CoverageMap::build(&sensors, &targets, sensing);
+    let clusters = balanced_clusters(&cov);
+    let uncovered = cov.uncovered_targets();
+    println!(
+        "coverage: {} of {m} targets coverable; {} uncoverable{}",
+        m - uncovered.len(),
+        uncovered.len(),
+        if uncovered.is_empty() {
+            String::new()
+        } else {
+            format!(" ({uncovered:?})")
+        }
+    );
+    let sizes: Vec<usize> = clusters
+        .clusters()
+        .iter()
+        .map(|c| c.members.len())
+        .collect();
+    if let Some((min, max)) = clusters.size_spread() {
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        println!(
+            "clusters: {} formed, sizes min {min} / mean {mean:.1} / max {max}",
+            clusters.len()
+        );
+    } else {
+        println!("clusters: none (no coverable targets)");
+    }
+    Ok(())
+}
+
+/// `wrsn analyze` — closed-form deployment feasibility without simulating.
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let cfg = config_from(args)?;
+    let utilization: f64 = args.num("utilization", 0.7)?;
+    let analysis = wrsn_core::DeploymentAnalysis {
+        num_sensors: cfg.num_sensors,
+        expected_monitors: if cfg.activity.round_robin {
+            cfg.num_targets as f64
+        } else {
+            // Full-time activation: every member of every cluster; mean
+            // cluster size = N·π·d_s²/L² sensors per target.
+            cfg.num_targets as f64
+                * (cfg.num_sensors as f64 * std::f64::consts::PI * cfg.sensing_range.powi(2)
+                    / (cfg.field_side * cfg.field_side))
+        },
+        watch_duty: cfg.watch_duty,
+        profile: cfg.sensor_profile,
+        battery_j: cfg.battery_capacity_j,
+        threshold: cfg.recharge_threshold_frac,
+        rv: cfg.rv_model,
+        num_rvs: cfg.num_rvs,
+    };
+    println!(
+        "deployment: {} sensors, {} targets, {} RVs ({} activation)",
+        cfg.num_sensors,
+        cfg.num_targets,
+        cfg.num_rvs,
+        if cfg.activity.round_robin { "round-robin" } else { "full-time" }
+    );
+    println!("network drain          : {:>8.2} W", analysis.network_drain_w());
+    println!("fleet capacity         : {:>8.2} W", analysis.fleet_capacity_w());
+    println!(
+        "sustainable @ {:>3.0}% util: {:>8}",
+        utilization * 100.0,
+        if analysis.is_sustainable(utilization) { "yes" } else { "NO" }
+    );
+    println!("threshold crossing     : {:>8.1} days (watching sensor, full → {:.0}%)",
+        analysis.days_to_threshold_watching(), cfg.recharge_threshold_frac * 100.0);
+    println!("deadline after request : {:>8.1} days", analysis.days_to_die_after_threshold());
+    println!("expected request rate  : {:>8.1} /day", analysis.requests_per_day());
+    println!("top-up service time    : {:>8.1} min", analysis.service_time_s() / 60.0);
+    Ok(())
+}
+
+/// `wrsn schedulers` — list the available scheduling policies.
+pub fn schedulers() -> Result<(), String> {
+    println!("available schedulers (--scheduler NAME):");
+    println!("  greedy      Algorithm 2: max-profit single-site dispatch (paper baseline)");
+    println!("  insertion   Algorithm 3: profit-insertion route for one RV");
+    println!("  partition   §IV-D-1 Partition-Scheme: K-means groups, one per RV");
+    println!("  combined    §IV-D-2 Combined-Scheme: global sequential insertion");
+    println!("  savings     extension: Clarke-Wright savings (classic VRP baseline)");
+    println!("  deadline    extension: urgency-weighted Combined-Scheme (cf. paper ref [10])");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn scheduler_names_resolve() {
+        assert_eq!(
+            scheduler_by_name("combined").unwrap(),
+            SchedulerKind::Combined
+        );
+        assert_eq!(scheduler_by_name("CW").unwrap(), SchedulerKind::Savings);
+        assert!(scheduler_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let a = args("run --sensors 100 --days 2 --scheduler greedy --erp 0.8 --no-rr");
+        let cfg = config_from(&a).unwrap();
+        assert_eq!(cfg.num_sensors, 100);
+        assert_eq!(cfg.duration_days, 2.0);
+        assert_eq!(cfg.scheduler, SchedulerKind::Greedy);
+        assert_eq!(cfg.activity.erp, Some(0.8));
+        assert!(!cfg.activity.round_robin);
+    }
+
+    #[test]
+    fn erp_off_disables_erc() {
+        let a = args("run --erp off");
+        let cfg = config_from(&a).unwrap();
+        assert_eq!(cfg.activity.erp, None);
+    }
+
+    #[test]
+    fn inspect_runs_on_small_deployment() {
+        let a = args("inspect --sensors 50 --targets 3 --field 60");
+        assert!(inspect(&a).is_ok());
+    }
+
+    #[test]
+    fn analyze_reports_feasibility() {
+        let a = args("analyze --sensors 500 --targets 15 --rvs 3");
+        assert!(analyze(&a).is_ok());
+        // Full-time activation raises expected monitors but must still run.
+        let a = args("analyze --no-rr");
+        assert!(analyze(&a).is_ok());
+    }
+
+    #[test]
+    fn run_completes_on_tiny_world() {
+        let a = args("run --sensors 40 --targets 2 --rvs 1 --field 50 --days 0.2 --seed 3");
+        assert!(run(&a).is_ok());
+    }
+
+    #[test]
+    fn sweep_rejects_single_point() {
+        let a = args("sweep --points 1");
+        assert!(sweep(&a).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! `wrsn` — command-line front end for the JRSSAM simulator.
+//!
+//! ```text
+//! wrsn run      [--days N] [--sensors N] [--targets N] [--rvs N] [--field M]
+//!               [--scheduler NAME] [--erp K] [--no-rr] [--seed S]
+//!               [--failures RATE] [--trace FILE]
+//! wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
+//! wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
+//! wrsn schedulers
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("run") => commands::run(&parsed),
+        Some("watch") => commands::watch(&parsed),
+        Some("sweep") => commands::sweep(&parsed),
+        Some("inspect") => commands::inspect(&parsed),
+        Some("analyze") => commands::analyze(&parsed),
+        Some("schedulers") => commands::schedulers(),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Sensor activity management (§III): round-robin activation and Energy
+//! Request Control.
+
+mod erp;
+mod round_robin;
+
+pub use erp::ErpController;
+pub use round_robin::RoundRobinRota;

@@ -1,0 +1,223 @@
+//! Algorithm 1: the balanced clustering algorithm (§III-A).
+
+use super::{Cluster, ClusterSet, CoverageMap};
+use crate::TargetId;
+
+/// Runs the paper's **Algorithm 1** to organize sensors into balanced
+/// clusters around targets.
+///
+/// Phase 1 collects, for each target `j`, the candidate set `P(j)` of
+/// sensors that can detect it, and the set `A` of all sensors detecting at
+/// least one target. `A` is processed in ascending *load* order (sensors
+/// with fewer detectable targets have fewer placement choices, so they get
+/// priority; ties break on sensor id for determinism).
+///
+/// Phase 2 assigns each sensor of `A` to the currently **smallest** cluster
+/// (ascending `U` counter, ties on target id) among those whose candidate
+/// set contains it. The result is a [`ClusterSet`] with near-equal cluster
+/// sizes, which equalizes cluster drain rates and therefore recharge
+/// frequency (§III-A).
+///
+/// Targets whose candidate set is empty produce **no** cluster (they cannot
+/// be monitored at all); callers can list them via
+/// [`CoverageMap::uncovered_targets`].
+pub fn balanced_clusters(coverage: &CoverageMap) -> ClusterSet {
+    let m = coverage.num_targets();
+
+    // Phase 1: A sorted ascending by load, ties by id.
+    let mut a = coverage.covering_sensors();
+    a.sort_by_key(|&s| (coverage.load(s), s));
+
+    // Phase 2.
+    let mut members: Vec<Vec<_>> = vec![Vec::new(); m];
+    let mut u = vec![0usize; m];
+    // Target ids sorted by (cluster size, id); re-sorted as U changes.
+    let mut order: Vec<usize> = (0..m).collect();
+    for s in a {
+        order.sort_by_key(|&j| (u[j], j));
+        for &j in &order {
+            if coverage.candidates(TargetId(j as u32)).contains(&s) {
+                members[j].push(s);
+                u[j] += 1;
+                break;
+            }
+        }
+    }
+
+    let clusters = members
+        .into_iter()
+        .enumerate()
+        .filter(|(_, ms)| !ms.is_empty())
+        .map(|(j, ms)| Cluster {
+            target: TargetId(j as u32),
+            members: ms,
+        })
+        .collect();
+    ClusterSet::new(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SensorId;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use wrsn_geom::Point2;
+
+    fn build(sensors: &[Point2], targets: &[Point2], range: f64) -> (CoverageMap, ClusterSet) {
+        let cov = CoverageMap::build(sensors, targets, range);
+        let set = balanced_clusters(&cov);
+        (cov, set)
+    }
+
+    #[test]
+    fn disjoint_targets_form_disjoint_clusters() {
+        let sensors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(100.0, 0.0),
+            Point2::new(101.0, 0.0),
+        ];
+        let targets = [Point2::new(0.5, 0.0), Point2::new(100.5, 0.0)];
+        let (_, set) = build(&sensors, &targets, 5.0);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.clusters()[0].members, vec![SensorId(0), SensorId(1)]);
+        assert_eq!(set.clusters()[1].members, vec![SensorId(2), SensorId(3)]);
+    }
+
+    #[test]
+    fn shared_coverage_is_balanced() {
+        // Four sensors all able to see both (co-located) targets: Algorithm 1
+        // must split them 2/2 rather than 4/0.
+        let sensors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+        ];
+        let targets = [Point2::new(0.5, 0.5), Point2::new(0.6, 0.5)];
+        let (_, set) = build(&sensors, &targets, 10.0);
+        assert_eq!(set.len(), 2);
+        let (min, max) = set.size_spread().unwrap();
+        assert_eq!((min, max), (2, 2));
+    }
+
+    #[test]
+    fn constrained_sensors_assigned_first() {
+        // Sensor 0 only sees target 0; sensors 1-2 see both. Without load
+        // priority sensor 0 could be locked out of its only choice.
+        let sensors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(5.0, 1.0),
+        ];
+        let targets = [Point2::new(2.0, 0.0), Point2::new(7.0, 0.0)];
+        let (cov, set) = build(&sensors, &targets, 4.0);
+        assert_eq!(cov.load(SensorId(0)), 1);
+        // Every target covered, every covering sensor assigned exactly once.
+        assert_eq!(set.len(), 2);
+        let total: usize = set.clusters().iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn uncoverable_target_produces_no_cluster() {
+        let sensors = [Point2::new(0.0, 0.0)];
+        let targets = [Point2::new(1.0, 0.0), Point2::new(500.0, 0.0)];
+        let (_, set) = build(&sensors, &targets, 5.0);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.clusters()[0].target, TargetId(0));
+    }
+
+    #[test]
+    fn sensor_assignment_inverse_map() {
+        let sensors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(50.0, 0.0),
+        ];
+        let targets = [Point2::new(0.5, 0.0)];
+        let (_, set) = build(&sensors, &targets, 5.0);
+        let assign = set.sensor_assignment(3);
+        assert!(assign[0].is_some() && assign[1].is_some());
+        assert!(assign[2].is_none()); // out of range: pure relay
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_clusters_are_disjoint_and_valid(seed in 0u64..500) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sensors: Vec<Point2> = (0..120)
+                .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let targets: Vec<Point2> = (0..6)
+                .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let cov = CoverageMap::build(&sensors, &targets, 8.0);
+            let set = balanced_clusters(&cov);
+
+            // Disjoint membership.
+            let mut seen = std::collections::HashSet::new();
+            for c in set.clusters() {
+                prop_assert!(!c.members.is_empty());
+                for &s in &c.members {
+                    prop_assert!(seen.insert(s), "sensor {s} in two clusters");
+                    // Member really covers the cluster target.
+                    prop_assert!(cov.covers(s, c.target));
+                }
+            }
+
+            // A coverable target may only end up unclustered when every one
+            // of its candidates was consumed by another cluster (a sensor
+            // can monitor at most one target, constraint (5)).
+            let clustered: std::collections::HashSet<_> =
+                set.clusters().iter().map(|c| c.target).collect();
+            for t in 0..targets.len() {
+                let t = TargetId(t as u32);
+                if !cov.candidates(t).is_empty() && !clustered.contains(&t) {
+                    for &s in cov.candidates(t) {
+                        prop_assert!(seen.contains(&s),
+                            "target {t} unclustered while candidate {s} is free");
+                    }
+                }
+            }
+
+            // Every covering sensor is assigned somewhere.
+            prop_assert_eq!(seen.len(), cov.covering_sensors().len());
+        }
+
+        #[test]
+        fn prop_balance_beats_naive_greedy_spread(seed in 0u64..200) {
+            // Compare against first-fit assignment (every sensor to its
+            // first detectable target): Algorithm 1's max-min spread must
+            // never be worse.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sensors: Vec<Point2> = (0..80)
+                .map(|_| Point2::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0)))
+                .collect();
+            let targets: Vec<Point2> = (0..4)
+                .map(|_| Point2::new(rng.gen_range(10.0..30.0), rng.gen_range(10.0..30.0)))
+                .collect();
+            let cov = CoverageMap::build(&sensors, &targets, 15.0);
+            let set = balanced_clusters(&cov);
+            if set.is_empty() {
+                return Ok(());
+            }
+
+            // Naive: assign each sensor to its first detectable target.
+            let mut naive = vec![0usize; targets.len()];
+            for s in cov.covering_sensors() {
+                naive[cov.detects(s)[0].index()] += 1;
+            }
+            let naive_sizes: Vec<usize> =
+                naive.iter().copied().filter(|&c| c > 0).collect();
+            let naive_spread = naive_sizes.iter().max().unwrap_or(&0)
+                - naive_sizes.iter().min().unwrap_or(&0);
+            let (min, max) = set.size_spread().unwrap();
+            prop_assert!(max - min <= naive_spread.max(1),
+                "balanced spread {} worse than naive {}", max - min, naive_spread);
+        }
+    }
+}

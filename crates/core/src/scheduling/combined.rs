@@ -1,0 +1,128 @@
+//! §IV-D-2 Combined-Scheme: global sequential insertion across all RVs.
+
+use super::{build_site_route, build_sites, expand_route, RechargePolicy};
+use crate::{RvRoute, ScheduleInput};
+
+/// The Combined-Scheme: Algorithm 3 is run for the first RV over the
+/// *entire* recharge node list, the sites it claims are removed, and the
+/// process repeats for each subsequent RV. Every RV therefore plans with a
+/// global view — it can claim high-profit sites anywhere in the field —
+/// which costs travel energy but minimizes nonfunctional sensors (the paper
+/// measures −52 % nonfunctional vs. greedy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CombinedPolicy;
+
+impl RechargePolicy for CombinedPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        let sites = build_sites(input);
+        let mut available = vec![true; sites.len()];
+        let mut routes = Vec::new();
+        for rv in &input.rvs {
+            if !available.iter().any(|&a| a) {
+                break;
+            }
+            let site_route =
+                build_site_route(&sites, &mut available, rv, input.base, input.cost_per_m);
+            if site_route.is_empty() {
+                continue;
+            }
+            let stops = expand_route(&site_route, &sites, input, rv.position);
+            routes.push(RvRoute { rv: rv.id, stops });
+        }
+        routes
+    }
+
+    fn name(&self) -> &'static str {
+        "combined"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RechargeRequest, RvId, RvState, SensorId};
+    use wrsn_geom::Point2;
+
+    fn req(i: u32, x: f64, demand: f64) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, 0.0),
+            demand,
+            cluster: None,
+            critical: false,
+        }
+    }
+
+    #[test]
+    fn later_rvs_plan_over_the_remainder() {
+        let inp = ScheduleInput {
+            requests: vec![
+                req(0, 10.0, 100.0),
+                req(1, 20.0, 100.0),
+                req(2, 30.0, 100.0),
+            ],
+            rvs: vec![
+                RvState {
+                    id: RvId(0),
+                    position: Point2::ORIGIN,
+                    available_energy: 1e9,
+                },
+                RvState {
+                    id: RvId(1),
+                    position: Point2::ORIGIN,
+                    available_energy: 1e9,
+                },
+            ],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        let plan = CombinedPolicy.plan(&inp);
+        assert!(inp.validate_plan(&plan).is_ok());
+        // All profitable requests are claimed exactly once in total.
+        let mut all: Vec<usize> = plan.iter().flat_map(|r| r.stops.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+        // The first RV takes everything here (it is all en-route), leaving
+        // the second idle.
+        assert_eq!(plan[0].rv, RvId(0));
+        assert_eq!(plan[0].stops.len(), 3);
+    }
+
+    #[test]
+    fn capacity_splits_work_across_rvs() {
+        // Each RV can afford roughly one request (demand 100 + ~20 travel).
+        let inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 100.0), req(1, -10.0, 100.0)],
+            rvs: vec![
+                RvState {
+                    id: RvId(0),
+                    position: Point2::ORIGIN,
+                    available_energy: 130.0,
+                },
+                RvState {
+                    id: RvId(1),
+                    position: Point2::ORIGIN,
+                    available_energy: 130.0,
+                },
+            ],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        let plan = CombinedPolicy.plan(&inp);
+        assert_eq!(plan.len(), 2, "budget forces the work to split");
+        assert!(inp.validate_plan(&plan).is_ok());
+        let total: usize = plan.iter().map(|r| r.stops.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn no_rvs_yields_no_routes() {
+        let inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 100.0)],
+            rvs: vec![],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        assert!(CombinedPolicy.plan(&inp).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact scheduler via the `wrsn-opt` dynamic program — the validation
+//! oracle for the heuristics (the paper proves the problem NP-hard and
+//! never computes optima; we do, on small instances).
+
+use super::{build_sites, expand_route, RechargePolicy};
+use crate::{RvRoute, ScheduleInput};
+use wrsn_opt::{solve_exact, ProfitInstance};
+
+/// Optimal recharge planning for small instances (≤ 12 sites).
+///
+/// Maps the schedule input onto [`ProfitInstance`] — sites as nodes, the
+/// base station as the depot, and the *minimum* RV energy budget as the
+/// uniform tour capacity (conservative when budgets differ) — and solves it
+/// exactly. Intended for tests and ablations; cost is exponential in the
+/// site count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactPolicy;
+
+impl RechargePolicy for ExactPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        let sites = build_sites(input);
+        if sites.is_empty() || input.rvs.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            sites.len() <= 12,
+            "ExactPolicy limited to 12 sites, got {}",
+            sites.len()
+        );
+        let capacity = input
+            .rvs
+            .iter()
+            .map(|r| r.available_energy)
+            .fold(f64::INFINITY, f64::min);
+        let inst = ProfitInstance {
+            depot: input.base,
+            nodes: sites.iter().map(|s| s.position).collect(),
+            // Fold each site's intra-cluster service travel bound into its
+            // demand so the centroid-level optimum stays capacity-feasible
+            // once expanded to member stops.
+            demands: sites
+                .iter()
+                .map(|s| s.demand + input.cost_per_m * s.service_bound_m)
+                .collect(),
+            cost_per_m: input.cost_per_m,
+            capacity: Some(capacity),
+        };
+        let sol = solve_exact(&inst, input.rvs.len());
+        sol.tours
+            .iter()
+            .zip(&input.rvs)
+            .filter(|(tour, _)| !tour.is_empty())
+            .map(|(tour, rv)| RvRoute {
+                rv: rv.id,
+                stops: expand_route(tour, &sites, input, rv.position),
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduling::{CombinedPolicy, GreedyPolicy};
+    use crate::{RechargeRequest, RvId, RvState, SensorId};
+    use wrsn_geom::Point2;
+
+    fn req(i: u32, x: f64, y: f64, demand: f64) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, y),
+            demand,
+            cluster: None,
+            critical: false,
+        }
+    }
+
+    fn small_input() -> ScheduleInput {
+        ScheduleInput {
+            requests: vec![
+                req(0, 20.0, 10.0, 300.0),
+                req(1, 80.0, 15.0, 250.0),
+                req(2, 50.0, 90.0, 400.0),
+                req(3, 15.0, 70.0, 100.0),
+            ],
+            rvs: vec![
+                RvState {
+                    id: RvId(0),
+                    position: Point2::new(50.0, 50.0),
+                    available_energy: 900.0,
+                },
+                RvState {
+                    id: RvId(1),
+                    position: Point2::new(50.0, 50.0),
+                    available_energy: 900.0,
+                },
+            ],
+            base: Point2::new(50.0, 50.0),
+            cost_per_m: 1.0,
+        }
+    }
+
+    /// Plan profit judged the MIP way: demand − cost of the full closed
+    /// tour from base through the stops and back.
+    fn closed_tour_profit(input: &ScheduleInput, plan: &[RvRoute]) -> f64 {
+        plan.iter()
+            .map(|route| {
+                let mut travel = 0.0;
+                let mut prev = input.base;
+                for &s in &route.stops {
+                    travel += prev.distance(input.requests[s].position);
+                    prev = input.requests[s].position;
+                }
+                if !route.stops.is_empty() {
+                    travel += prev.distance(input.base);
+                }
+                input.route_demand(route) - input.cost_per_m * travel
+            })
+            .sum()
+    }
+
+    #[test]
+    fn exact_plan_is_feasible() {
+        let inp = small_input();
+        let plan = ExactPolicy.plan(&inp);
+        assert!(inp.validate_plan(&plan).is_ok());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn exact_dominates_heuristics_on_closed_tours() {
+        // All RVs start at the base here, so closed-tour profit is the
+        // right common yardstick.
+        let inp = small_input();
+        let exact = closed_tour_profit(&inp, &ExactPolicy.plan(&inp));
+        let greedy = closed_tour_profit(&inp, &GreedyPolicy.plan(&inp));
+        let combined = closed_tour_profit(&inp, &CombinedPolicy.plan(&inp));
+        assert!(exact >= greedy - 1e-6, "exact {exact} < greedy {greedy}");
+        assert!(
+            exact >= combined - 1e-6,
+            "exact {exact} < combined {combined}"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let inp = ScheduleInput {
+            requests: vec![],
+            rvs: vec![RvState {
+                id: RvId(0),
+                position: Point2::ORIGIN,
+                available_energy: 100.0,
+            }],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        assert!(ExactPolicy.plan(&inp).is_empty());
+    }
+}

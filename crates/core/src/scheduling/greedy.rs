@@ -1,0 +1,179 @@
+//! Algorithm 2: the greedy recharging baseline (§IV-B).
+
+use super::{build_sites, expand_route, RechargePolicy};
+use crate::{RvRoute, ScheduleInput};
+
+/// The paper's greedy baseline: each RV is dispatched to the single site
+/// with the maximum recharge profit `D − e_m·dist(rv, site)` from its
+/// current position (critical sites take priority). One site per RV per
+/// planning round — the RV returns for a new assignment after serving it,
+/// which is exactly what makes greedy travel-hungry and the insertion
+/// schemes worthwhile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPolicy;
+
+impl RechargePolicy for GreedyPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        let sites = build_sites(input);
+        let mut available = vec![true; sites.len()];
+        let mut routes = Vec::with_capacity(input.rvs.len());
+
+        for rv in &input.rvs {
+            let feasible = |s: usize| {
+                let site = &sites[s];
+                let travel = rv.position.distance(site.position)
+                    + site.service_bound_m
+                    + site.position.distance(input.base);
+                site.demand + input.cost_per_m * travel <= rv.available_energy + 1e-9
+            };
+            let profit = |s: usize| {
+                sites[s].demand - input.cost_per_m * rv.position.distance(sites[s].position)
+            };
+            let candidates: Vec<usize> = (0..sites.len())
+                .filter(|&s| available[s] && feasible(s))
+                .collect();
+            let pool: Vec<usize> = {
+                let critical: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&s| sites[s].critical)
+                    .collect();
+                if critical.is_empty() {
+                    candidates
+                } else {
+                    critical
+                }
+            };
+            let Some(best) = pool
+                .into_iter()
+                .max_by(|&a, &b| profit(a).total_cmp(&profit(b)))
+            else {
+                continue;
+            };
+            available[best] = false;
+            let stops = expand_route(&[best], &sites, input, rv.position);
+            routes.push(RvRoute { rv: rv.id, stops });
+        }
+        routes
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterId, RechargeRequest, RvId, RvState, SensorId};
+    use wrsn_geom::Point2;
+
+    fn req(i: u32, x: f64, demand: f64) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, 0.0),
+            demand,
+            cluster: None,
+            critical: false,
+        }
+    }
+
+    fn rv(i: u32, x: f64, budget: f64) -> RvState {
+        RvState {
+            id: RvId(i),
+            position: Point2::new(x, 0.0),
+            available_energy: budget,
+        }
+    }
+
+    #[test]
+    fn each_rv_gets_its_best_site() {
+        let inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 100.0), req(1, 90.0, 100.0)],
+            rvs: vec![rv(0, 0.0, 1e9), rv(1, 100.0, 1e9)],
+            base: Point2::new(50.0, 0.0),
+            cost_per_m: 1.0,
+        };
+        let plan = GreedyPolicy.plan(&inp);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].stops, vec![0]); // rv0 near x=10
+        assert_eq!(plan[1].stops, vec![1]); // rv1 near x=90
+        assert!(inp.validate_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn one_site_per_rv_even_with_many_requests() {
+        let inp = ScheduleInput {
+            requests: vec![
+                req(0, 10.0, 100.0),
+                req(1, 20.0, 100.0),
+                req(2, 30.0, 100.0),
+            ],
+            rvs: vec![rv(0, 0.0, 1e9)],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        let plan = GreedyPolicy.plan(&inp);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(
+            plan[0].stops.len(),
+            1,
+            "greedy serves exactly one site per round"
+        );
+    }
+
+    #[test]
+    fn whole_cluster_counts_as_one_site() {
+        let mut inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 50.0), req(1, 12.0, 50.0)],
+            rvs: vec![rv(0, 0.0, 1e9)],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        inp.requests[0].cluster = Some(ClusterId(0));
+        inp.requests[1].cluster = Some(ClusterId(0));
+        let plan = GreedyPolicy.plan(&inp);
+        assert_eq!(
+            plan[0].stops.len(),
+            2,
+            "cluster site expands to all members"
+        );
+    }
+
+    #[test]
+    fn critical_site_preempts_higher_profit() {
+        let mut inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 500.0), req(1, 80.0, 20.0)],
+            rvs: vec![rv(0, 0.0, 1e9)],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        inp.requests[1].critical = true;
+        let plan = GreedyPolicy.plan(&inp);
+        assert_eq!(plan[0].stops, vec![1]);
+    }
+
+    #[test]
+    fn depleted_rv_is_skipped() {
+        let inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 100.0)],
+            rvs: vec![rv(0, 0.0, 5.0), rv(1, 0.0, 1e9)],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        let plan = GreedyPolicy.plan(&inp);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].rv, RvId(1));
+    }
+
+    #[test]
+    fn no_requests_no_routes() {
+        let inp = ScheduleInput {
+            requests: vec![],
+            rvs: vec![rv(0, 0.0, 1e9)],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        assert!(GreedyPolicy.plan(&inp).is_empty());
+    }
+}

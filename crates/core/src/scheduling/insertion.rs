@@ -1,0 +1,358 @@
+//! Algorithm 3: the profit-insertion route builder for a single RV (§IV-C).
+
+use super::{build_sites, expand_route, Site};
+use crate::{RvRoute, RvState, ScheduleInput};
+use wrsn_geom::Point2;
+
+/// Incrementally built route: the RV's current position followed by the
+/// chosen site positions; tracks path length and served demand so capacity
+/// (constraint (7): demand + travel ≤ budget, including the return leg) can
+/// be checked in O(1) per candidate.
+struct RouteBuilder<'a> {
+    sites: &'a [Site],
+    points: Vec<Point2>,
+    chosen: Vec<usize>,
+    path_len: f64,
+    /// Accumulated intra-site service travel bound (m).
+    service_m: f64,
+    demand: f64,
+    base: Point2,
+    cost_per_m: f64,
+    budget: f64,
+}
+
+impl<'a> RouteBuilder<'a> {
+    fn new(sites: &'a [Site], rv: &RvState, base: Point2, cost_per_m: f64) -> Self {
+        Self {
+            sites,
+            points: vec![rv.position],
+            chosen: Vec::new(),
+            path_len: 0.0,
+            service_m: 0.0,
+            demand: 0.0,
+            base,
+            cost_per_m,
+            budget: rv.available_energy,
+        }
+    }
+
+    /// Total energy needed if the route ends at its current last point and
+    /// returns to base, including every site's intra-cluster service
+    /// travel bound.
+    fn need(&self, extra_demand: f64, extra_path: f64, last: Point2) -> f64 {
+        self.demand
+            + extra_demand
+            + self.cost_per_m
+                * (self.path_len + self.service_m + extra_path + last.distance(self.base))
+    }
+
+    /// Whether appending `site` as the new final destination fits the
+    /// budget.
+    fn can_append(&self, site: usize) -> bool {
+        let s = &self.sites[site];
+        let leg = self
+            .points
+            .last()
+            .expect("route starts at RV")
+            .distance(s.position);
+        self.need(s.demand, leg + s.service_bound_m, s.position) <= self.budget + 1e-9
+    }
+
+    fn append(&mut self, site: usize) {
+        let s = &self.sites[site];
+        let leg = self
+            .points
+            .last()
+            .expect("route starts at RV")
+            .distance(s.position);
+        self.path_len += leg;
+        self.service_m += s.service_bound_m;
+        self.demand += s.demand;
+        self.points.push(s.position);
+        self.chosen.push(site);
+    }
+
+    /// Path-length increase `Δd` of inserting `site` between points `pos`
+    /// and `pos + 1`.
+    fn insertion_delta(&self, pos: usize, site: usize) -> f64 {
+        let p = self.sites[site].position;
+        let a = self.points[pos];
+        let b = self.points[pos + 1];
+        a.distance(p) + p.distance(b) - a.distance(b)
+    }
+
+    fn can_insert(&self, pos: usize, site: usize) -> bool {
+        let s = &self.sites[site];
+        let last = *self.points.last().expect("nonempty");
+        self.need(
+            s.demand,
+            self.insertion_delta(pos, site) + s.service_bound_m,
+            last,
+        ) <= self.budget + 1e-9
+    }
+
+    fn insert(&mut self, pos: usize, site: usize) {
+        let delta = self.insertion_delta(pos, site);
+        self.path_len += delta;
+        self.service_m += self.sites[site].service_bound_m;
+        self.demand += self.sites[site].demand;
+        self.points.insert(pos + 1, self.sites[site].position);
+        self.chosen.insert(pos, site);
+    }
+
+    /// Number of insertion slots (between consecutive route points).
+    fn slots(&self) -> usize {
+        self.points.len() - 1
+    }
+}
+
+/// Builds a recharging sequence of **sites** for one RV following the
+/// paper's Algorithm 3:
+///
+/// 1. choose the destination with the best recharge profit
+///    `D − e_m·dist(rv, site)` (critical sites take priority);
+/// 2. force-insert any remaining critical sites at their cheapest feasible
+///    position (§III-C low-energy priority);
+/// 3. repeatedly evaluate `p(s, n) = D(n) − e_m·Δd(s)` for every remaining
+///    site at every position and perform the most profitable **positive**
+///    insertion, until none remains or the capacity budget is exhausted.
+///
+/// Sites used are cleared from `available`. Returns site indices in visit
+/// order (possibly empty when nothing is feasible).
+pub(crate) fn build_site_route(
+    sites: &[Site],
+    available: &mut [bool],
+    rv: &RvState,
+    base: Point2,
+    cost_per_m: f64,
+) -> Vec<usize> {
+    debug_assert_eq!(sites.len(), available.len());
+    let mut route = RouteBuilder::new(sites, rv, base, cost_per_m);
+
+    // Step 1: destination = best profit among feasible candidates,
+    // restricted to critical sites when any critical site is feasible.
+    let profit = |s: usize| sites[s].demand - cost_per_m * rv.position.distance(sites[s].position);
+    let feasible: Vec<usize> = (0..sites.len())
+        .filter(|&s| available[s] && route.can_append(s))
+        .collect();
+    let pool: Vec<usize> = {
+        let critical: Vec<usize> = feasible
+            .iter()
+            .copied()
+            .filter(|&s| sites[s].critical)
+            .collect();
+        if critical.is_empty() {
+            feasible
+        } else {
+            critical
+        }
+    };
+    let Some(dest) = pool
+        .into_iter()
+        .max_by(|&a, &b| profit(a).total_cmp(&profit(b)))
+    else {
+        return Vec::new();
+    };
+    route.append(dest);
+    available[dest] = false;
+
+    // Step 2: force-insert remaining critical sites (cheapest Δd first,
+    // profit sign ignored — coverage beats energy efficiency here).
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for site in 0..sites.len() {
+            if !available[site] || !sites[site].critical {
+                continue;
+            }
+            for pos in 0..route.slots() {
+                if !route.can_insert(pos, site) {
+                    continue;
+                }
+                let delta = route.insertion_delta(pos, site);
+                if best.is_none_or(|(_, _, d)| delta < d) {
+                    best = Some((pos, site, delta));
+                }
+            }
+        }
+        match best {
+            Some((pos, site, _)) => {
+                route.insert(pos, site);
+                available[site] = false;
+            }
+            None => break,
+        }
+    }
+
+    // Step 3: standard positive-profit insertion.
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for site in 0..sites.len() {
+            if !available[site] {
+                continue;
+            }
+            for pos in 0..route.slots() {
+                if !route.can_insert(pos, site) {
+                    continue;
+                }
+                let p = sites[site].demand - cost_per_m * route.insertion_delta(pos, site);
+                if p > 0.0 && best.is_none_or(|(_, _, bp)| p > bp) {
+                    best = Some((pos, site, p));
+                }
+            }
+        }
+        match best {
+            Some((pos, site, _)) => {
+                route.insert(pos, site);
+                available[site] = false;
+            }
+            None => break,
+        }
+    }
+
+    route.chosen
+}
+
+/// The paper's single-RV scheduler (**Algorithm 3**): plans a full
+/// recharging sequence for the *first* RV in the input and leaves the rest
+/// idle. The multi-RV schemes ([`super::PartitionPolicy`],
+/// [`super::CombinedPolicy`]) reuse the same insertion builder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertionPolicy;
+
+impl super::RechargePolicy for InsertionPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        let Some(rv) = input.rvs.first() else {
+            return Vec::new();
+        };
+        let sites = build_sites(input);
+        let mut available = vec![true; sites.len()];
+        let site_route = build_site_route(&sites, &mut available, rv, input.base, input.cost_per_m);
+        let stops = expand_route(&site_route, &sites, input, rv.position);
+        vec![RvRoute { rv: rv.id, stops }]
+    }
+
+    fn name(&self) -> &'static str {
+        "insertion"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduling::RechargePolicy;
+    use crate::{RechargeRequest, RvId, SensorId};
+
+    fn req(i: u32, x: f64, y: f64, demand: f64) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, y),
+            demand,
+            cluster: None,
+            critical: false,
+        }
+    }
+
+    fn input(requests: Vec<RechargeRequest>, budget: f64) -> ScheduleInput {
+        ScheduleInput {
+            requests,
+            rvs: vec![RvState {
+                id: RvId(0),
+                position: Point2::ORIGIN,
+                available_energy: budget,
+            }],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        }
+    }
+
+    #[test]
+    fn picks_best_profit_destination() {
+        // Near node with low demand vs far node with high demand.
+        let inp = input(
+            vec![req(0, 10.0, 0.0, 50.0), req(1, 100.0, 0.0, 120.0)],
+            1e9,
+        );
+        let plan = InsertionPolicy.plan(&inp);
+        // Profits: 50−10=40 vs 120−100=20 → destination is node 0; node 1
+        // is then insertable only at negative profit, so it is skipped.
+        assert_eq!(plan[0].stops, vec![0]);
+    }
+
+    #[test]
+    fn inserts_en_route_nodes() {
+        // Destination at x=100 (high demand); a node right on the path
+        // costs nearly nothing to insert.
+        let inp = input(
+            vec![req(0, 100.0, 0.0, 500.0), req(1, 50.0, 1.0, 30.0)],
+            1e9,
+        );
+        let plan = InsertionPolicy.plan(&inp);
+        assert_eq!(
+            plan[0].stops,
+            vec![1, 0],
+            "en-route node inserted before destination"
+        );
+        assert!(inp.validate_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn respects_capacity_budget() {
+        // Budget fits the destination but not both nodes.
+        let inp = input(
+            vec![req(0, 10.0, 0.0, 100.0), req(1, 12.0, 0.0, 100.0)],
+            100.0 + 24.0 + 1.0, // demand 100 + there/back ≈ 24
+        );
+        let plan = InsertionPolicy.plan(&inp);
+        assert_eq!(plan[0].stops.len(), 1);
+        assert!(inp.validate_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn critical_site_takes_destination_priority() {
+        let mut inp = input(vec![req(0, 10.0, 0.0, 500.0), req(1, 80.0, 0.0, 50.0)], 1e9);
+        inp.requests[1].critical = true;
+        let plan = InsertionPolicy.plan(&inp);
+        // Despite its poor profit, the critical node is served; the high
+        // profit node gets inserted en route (it lies on the way).
+        assert!(
+            plan[0].stops.contains(&1),
+            "critical request must be served"
+        );
+        assert!(plan[0].stops.contains(&0));
+    }
+
+    #[test]
+    fn empty_request_list_yields_empty_route() {
+        let inp = input(vec![], 1e9);
+        let plan = InsertionPolicy.plan(&inp);
+        assert_eq!(plan.len(), 1);
+        assert!(plan[0].stops.is_empty());
+    }
+
+    #[test]
+    fn infeasible_budget_yields_empty_route() {
+        let inp = input(vec![req(0, 10.0, 0.0, 100.0)], 50.0);
+        let plan = InsertionPolicy.plan(&inp);
+        assert!(plan[0].stops.is_empty());
+    }
+
+    #[test]
+    fn cluster_members_served_in_one_visit() {
+        use crate::ClusterId;
+        let mut inp = input(
+            vec![
+                req(0, 50.0, 0.0, 100.0),
+                req(1, 52.0, 0.0, 100.0),
+                req(2, 51.0, 2.0, 100.0),
+            ],
+            1e9,
+        );
+        for r in &mut inp.requests {
+            r.cluster = Some(ClusterId(0));
+        }
+        let plan = InsertionPolicy.plan(&inp);
+        assert_eq!(plan[0].stops.len(), 3, "whole cluster served in one visit");
+        // Members visited nearest-first from the RV's approach direction.
+        assert_eq!(plan[0].stops[0], 0);
+    }
+}

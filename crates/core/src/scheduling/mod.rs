@@ -1,0 +1,24 @@
+//! Recharge route scheduling (§IV): the greedy baseline, the Algorithm 3
+//! insertion builder, and the two multi-RV schemes.
+
+mod combined;
+mod deadline;
+mod exact;
+mod greedy;
+mod insertion;
+mod partition;
+mod policy;
+mod savings;
+mod sites;
+
+pub use combined::CombinedPolicy;
+pub use deadline::DeadlinePolicy;
+pub use exact::ExactPolicy;
+pub use greedy::GreedyPolicy;
+pub use insertion::InsertionPolicy;
+pub use partition::PartitionPolicy;
+pub use policy::{RechargePolicy, SchedulerKind};
+pub use savings::SavingsPolicy;
+
+pub(crate) use insertion::build_site_route;
+pub(crate) use sites::{build_sites, expand_route, Site};

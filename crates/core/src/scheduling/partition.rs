@@ -1,0 +1,195 @@
+//! §IV-D-1 Partition-Scheme: K-means groups, one RV per group.
+
+use super::{build_site_route, build_sites, expand_route, RechargePolicy};
+use crate::{RvRoute, ScheduleInput};
+use rand::SeedableRng;
+use wrsn_opt::{kmeans, KMeansConfig};
+
+/// The Partition-Scheme: K-means partitions the recharge sites into `m`
+/// geographic groups (Eq. 15 WCSS objective), each RV is matched to the
+/// nearest group centroid, and Algorithm 3 builds the route *inside* each
+/// group. Confining each RV's moving scope is what saves the scheme its
+/// travel energy (the paper measures −41 % vs. greedy).
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionPolicy {
+    seed: u64,
+}
+
+impl PartitionPolicy {
+    /// Creates the policy; `seed` drives the (deterministic) K-means
+    /// initialization.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl RechargePolicy for PartitionPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        let sites = build_sites(input);
+        if sites.is_empty() || input.rvs.is_empty() {
+            return Vec::new();
+        }
+        let m = input.rvs.len();
+        let positions: Vec<_> = sites.iter().map(|s| s.position).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let km = kmeans(&positions, m, &KMeansConfig::default(), &mut rng);
+
+        // Match each group to the nearest still-unmatched RV (greedy
+        // matching over ascending distance; the paper starts RV i at μ_i).
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new(); // (group, rv_idx, dist)
+        for g in 0..m {
+            for (r, rv) in input.rvs.iter().enumerate() {
+                pairs.push((g, r, km.centroids[g].distance(rv.position)));
+            }
+        }
+        pairs.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let mut group_of_rv = vec![usize::MAX; m];
+        let mut group_taken = vec![false; m];
+        for (g, r, _) in pairs {
+            if !group_taken[g] && group_of_rv[r] == usize::MAX {
+                group_taken[g] = true;
+                group_of_rv[r] = g;
+            }
+        }
+
+        let mut routes = Vec::new();
+        for (r, rv) in input.rvs.iter().enumerate() {
+            let g = group_of_rv[r];
+            if g == usize::MAX {
+                continue;
+            }
+            // Availability mask confined to this RV's group.
+            let mut available: Vec<bool> =
+                (0..sites.len()).map(|s| km.assignment[s] == g).collect();
+            let site_route =
+                build_site_route(&sites, &mut available, rv, input.base, input.cost_per_m);
+            if site_route.is_empty() {
+                continue;
+            }
+            let stops = expand_route(&site_route, &sites, input, rv.position);
+            routes.push(RvRoute { rv: rv.id, stops });
+        }
+        routes
+    }
+
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RechargeRequest, RvId, RvState, SensorId};
+    use wrsn_geom::Point2;
+
+    fn req(i: u32, x: f64, y: f64) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, y),
+            demand: 100.0,
+            cluster: None,
+            critical: false,
+        }
+    }
+
+    fn two_blob_input() -> ScheduleInput {
+        ScheduleInput {
+            requests: vec![
+                req(0, 10.0, 10.0),
+                req(1, 12.0, 10.0),
+                req(2, 190.0, 190.0),
+                req(3, 188.0, 190.0),
+            ],
+            rvs: vec![
+                RvState {
+                    id: RvId(0),
+                    position: Point2::new(0.0, 0.0),
+                    available_energy: 1e9,
+                },
+                RvState {
+                    id: RvId(1),
+                    position: Point2::new(200.0, 200.0),
+                    available_energy: 1e9,
+                },
+            ],
+            base: Point2::new(100.0, 100.0),
+            cost_per_m: 1.0,
+        }
+    }
+
+    #[test]
+    fn rvs_stay_in_their_geographic_group() {
+        let inp = two_blob_input();
+        let plan = PartitionPolicy::new(7).plan(&inp);
+        assert_eq!(plan.len(), 2);
+        assert!(inp.validate_plan(&plan).is_ok());
+        for route in &plan {
+            let rv = inp.rv(route.rv);
+            for &s in &route.stops {
+                // Every stop is on the RV's side of the field.
+                let d = inp.requests[s].position.distance(rv.position);
+                assert!(d < 50.0, "{} strayed {d} m from its group", route.rv);
+            }
+        }
+        // All four requests served across the two groups.
+        let total: usize = plan.iter().map(|r| r.stops.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inp = two_blob_input();
+        let a = PartitionPolicy::new(3).plan(&inp);
+        let b = PartitionPolicy::new(3).plan(&inp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_rvs_than_sites_leaves_extras_idle() {
+        let inp = ScheduleInput {
+            requests: vec![req(0, 10.0, 10.0)],
+            rvs: vec![
+                RvState {
+                    id: RvId(0),
+                    position: Point2::ORIGIN,
+                    available_energy: 1e9,
+                },
+                RvState {
+                    id: RvId(1),
+                    position: Point2::new(5.0, 5.0),
+                    available_energy: 1e9,
+                },
+                RvState {
+                    id: RvId(2),
+                    position: Point2::new(9.0, 9.0),
+                    available_energy: 1e9,
+                },
+            ],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        let plan = PartitionPolicy::default().plan(&inp);
+        // Exactly one RV gets the lone site.
+        let serving: Vec<_> = plan.iter().filter(|r| !r.stops.is_empty()).collect();
+        assert_eq!(serving.len(), 1);
+        assert!(inp.validate_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let inp = ScheduleInput {
+            requests: vec![],
+            rvs: vec![],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        };
+        assert!(PartitionPolicy::default().plan(&inp).is_empty());
+    }
+}

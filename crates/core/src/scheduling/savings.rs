@@ -1,0 +1,274 @@
+//! Clarke–Wright savings scheduler — a classic VRP baseline beyond the
+//! paper's comparison set.
+//!
+//! Clarke & Wright (1964) build capacitated routes by repeatedly merging
+//! the pair of routes with the largest *saving*
+//! `s(i, j) = d(base, i) + d(base, j) − d(i, j)`, i.e. the travel avoided
+//! by serving `j` right after `i` instead of returning to the depot. It is
+//! the standard strong baseline for vehicle routing, so including it shows
+//! where the paper's insertion heuristics stand against the classical
+//! literature (an experiment the paper never ran).
+//!
+//! Adaptation to the recharge-profit setting: only sites whose round-trip
+//! profit is positive (or critical) seed routes; merges must respect each
+//! RV's capacity budget (demand + travel + service bound ≤ budget, with
+//! routes assigned to RVs largest-first).
+
+use super::{build_sites, expand_route, RechargePolicy, Site};
+use crate::{RvRoute, ScheduleInput};
+use wrsn_geom::Point2;
+
+/// Clarke–Wright savings over the recharge node list.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SavingsPolicy;
+
+/// A growing route: site indices in visit order plus cached totals.
+struct CwRoute {
+    sites: Vec<usize>,
+    demand: f64,
+    service_m: f64,
+    alive: bool,
+}
+
+impl CwRoute {
+    fn travel_m(&self, all: &[Site], base: Point2) -> f64 {
+        let mut m = 0.0;
+        let mut prev = base;
+        for &s in &self.sites {
+            m += prev.distance(all[s].position);
+            prev = all[s].position;
+        }
+        m + prev.distance(base)
+    }
+
+    fn energy_need(&self, all: &[Site], base: Point2, cost_per_m: f64) -> f64 {
+        self.demand + cost_per_m * (self.travel_m(all, base) + self.service_m)
+    }
+}
+
+impl RechargePolicy for SavingsPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        let sites = build_sites(input);
+        if sites.is_empty() || input.rvs.is_empty() {
+            return Vec::new();
+        }
+        let base = input.base;
+        let cost = input.cost_per_m;
+        let max_budget = input
+            .rvs
+            .iter()
+            .map(|r| r.available_energy)
+            .fold(f64::MIN, f64::max);
+
+        // Seed one route per worthwhile site (positive round-trip profit or
+        // critical), skipping anything that can never fit any RV.
+        let mut routes: Vec<CwRoute> = Vec::new();
+        let mut route_of: Vec<Option<usize>> = vec![None; sites.len()];
+        for (i, s) in sites.iter().enumerate() {
+            let round_trip = 2.0 * base.distance(s.position) + s.service_bound_m;
+            let profitable = s.demand > cost * round_trip || s.critical;
+            let fits = s.demand + cost * round_trip <= max_budget + 1e-9;
+            if profitable && fits {
+                route_of[i] = Some(routes.len());
+                routes.push(CwRoute {
+                    sites: vec![i],
+                    demand: s.demand,
+                    service_m: s.service_bound_m,
+                    alive: true,
+                });
+            }
+        }
+
+        // All pairwise savings, largest first.
+        let mut savings: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..sites.len() {
+            if route_of[i].is_none() {
+                continue;
+            }
+            for j in (i + 1)..sites.len() {
+                if route_of[j].is_none() {
+                    continue;
+                }
+                let s = base.distance(sites[i].position) + base.distance(sites[j].position)
+                    - sites[i].position.distance(sites[j].position);
+                if s > 0.0 {
+                    savings.push((s, i, j));
+                }
+            }
+        }
+        savings.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        // Merge route ends while capacity permits. Classic CW: `i` must be
+        // the tail of its route and `j` the head of its route (or vice
+        // versa), and the routes must differ.
+        for (_, i, j) in savings {
+            let (Some(ri), Some(rj)) = (route_of[i], route_of[j]) else {
+                continue;
+            };
+            if ri == rj || !routes[ri].alive || !routes[rj].alive {
+                continue;
+            }
+            // `a` ends at one of the pair, `b` starts at the other.
+            let (a, b) = if routes[ri].sites.last() == Some(&i)
+                && routes[rj].sites.first() == Some(&j)
+            {
+                (ri, rj)
+            } else if routes[rj].sites.last() == Some(&j) && routes[ri].sites.first() == Some(&i) {
+                (rj, ri)
+            } else {
+                continue;
+            };
+            // Tentative merge: append b's sites to a, check capacity.
+            let merged = CwRoute {
+                sites: routes[a]
+                    .sites
+                    .iter()
+                    .chain(&routes[b].sites)
+                    .copied()
+                    .collect(),
+                demand: routes[a].demand + routes[b].demand,
+                service_m: routes[a].service_m + routes[b].service_m,
+                alive: true,
+            };
+            if merged.energy_need(&sites, base, cost) > max_budget + 1e-9 {
+                continue;
+            }
+            for &s in &merged.sites {
+                route_of[s] = Some(a);
+            }
+            routes[b].alive = false;
+            routes[b].sites.clear();
+            routes[a] = merged;
+        }
+
+        // Assign the heaviest routes to the RVs with the largest budgets.
+        let mut live: Vec<&CwRoute> = routes.iter().filter(|r| r.alive).collect();
+        live.sort_by(|x, y| {
+            y.energy_need(&sites, base, cost)
+                .total_cmp(&x.energy_need(&sites, base, cost))
+        });
+        let mut rv_order: Vec<usize> = (0..input.rvs.len()).collect();
+        rv_order.sort_by(|&x, &y| {
+            input.rvs[y]
+                .available_energy
+                .total_cmp(&input.rvs[x].available_energy)
+        });
+
+        let mut out = Vec::new();
+        for (route, &rv_idx) in live.iter().zip(&rv_order) {
+            let rv = &input.rvs[rv_idx];
+            if route.energy_need(&sites, base, cost) > rv.available_energy + 1e-9 {
+                continue; // this route was sized for a bigger budget
+            }
+            let stops = expand_route(&route.sites, &sites, input, rv.position);
+            if !stops.is_empty() {
+                out.push(RvRoute { rv: rv.id, stops });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "savings"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RechargeRequest, RvId, RvState, SensorId};
+
+    fn req(i: u32, x: f64, y: f64, demand: f64) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, y),
+            demand,
+            cluster: None,
+            critical: false,
+        }
+    }
+
+    fn input(requests: Vec<RechargeRequest>, m: usize, budget: f64) -> ScheduleInput {
+        ScheduleInput {
+            requests,
+            rvs: (0..m)
+                .map(|i| RvState {
+                    id: RvId(i as u32),
+                    position: Point2::new(50.0, 50.0),
+                    available_energy: budget,
+                })
+                .collect(),
+            base: Point2::new(50.0, 50.0),
+            cost_per_m: 1.0,
+        }
+    }
+
+    #[test]
+    fn neighbors_get_merged_into_one_route() {
+        // Two adjacent requests far from base: huge saving, must merge.
+        let inp = input(
+            vec![req(0, 90.0, 50.0, 500.0), req(1, 92.0, 50.0, 500.0)],
+            2,
+            1e9,
+        );
+        let plan = SavingsPolicy.plan(&inp);
+        assert_eq!(plan.len(), 1, "adjacent sites belong on one route");
+        assert_eq!(plan[0].stops.len(), 2);
+        assert!(inp.validate_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn capacity_blocks_merging() {
+        let inp = input(
+            vec![req(0, 90.0, 50.0, 500.0), req(1, 92.0, 50.0, 500.0)],
+            2,
+            // Each fits alone (500 + ~81 travel) but not merged (1000+).
+            600.0,
+        );
+        let plan = SavingsPolicy.plan(&inp);
+        assert_eq!(plan.len(), 2, "capacity must split the work");
+        assert!(inp.validate_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn unprofitable_sites_are_skipped() {
+        let inp = input(vec![req(0, 1000.0, 50.0, 10.0)], 1, 1e9);
+        let plan = SavingsPolicy.plan(&inp);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn critical_sites_are_served_despite_negative_profit() {
+        let mut inp = input(vec![req(0, 300.0, 50.0, 10.0)], 1, 1e9);
+        inp.requests[0].critical = true;
+        let plan = SavingsPolicy.plan(&inp);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].stops, vec![0]);
+    }
+
+    #[test]
+    fn validates_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..15);
+            let reqs: Vec<_> = (0..n)
+                .map(|i| {
+                    req(
+                        i as u32,
+                        rng.gen_range(0.0..100.0),
+                        rng.gen_range(0.0..100.0),
+                        rng.gen_range(100.0..5_000.0),
+                    )
+                })
+                .collect();
+            let inp = input(reqs, rng.gen_range(1..4), rng.gen_range(3_000.0..50_000.0));
+            let plan = SavingsPolicy.plan(&inp);
+            assert!(
+                inp.validate_plan(&plan).is_ok(),
+                "{:?}",
+                inp.validate_plan(&plan)
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Scheduling *sites*: cluster-aggregated recharge requests (§IV-C).
+//!
+//! "All energy demands from sensors inside a cluster are replaced by an
+//! aggregated cluster energy demand" — so the schedulers plan over sites
+//! (one per requesting cluster, one per clusterless request). When an RV
+//! reaches a site it recharges every member request, touring them
+//! nearest-neighbour first ("the recharging tour inside a cluster is guided
+//! by a canonical TSP algorithm, such as the nearest neighbor algorithm").
+
+use crate::{ClusterId, ScheduleInput};
+use wrsn_geom::Point2;
+
+/// One schedulable site: either a whole requesting cluster or a single
+/// clusterless request.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Site {
+    /// Representative position (cluster centroid, or the request position).
+    pub position: Point2,
+    /// Aggregated demand `D` (J).
+    pub demand: f64,
+    /// Member request indices into [`ScheduleInput::requests`]), already in
+    /// visit order (nearest-neighbour from the centroid, §IV-C).
+    pub requests: Vec<usize>,
+    /// Whether any member flagged critical energy (§III-C priority rule).
+    pub critical: bool,
+    /// Upper bound (m) on the extra travel of serving the site's members
+    /// versus just touching the centroid: `|c→m₁| + path(m₁…m_k) + |m_k→c|`
+    /// for the fixed visit order. Guarantees site-level capacity checks
+    /// never under-estimate the expanded route (triangle inequality).
+    pub service_bound_m: f64,
+}
+
+/// Groups the input's requests into sites. Clusterless requests become
+/// singleton sites; requests sharing a [`ClusterId`] merge. Order is
+/// deterministic: clusters ascending by id, then singles in request order.
+pub(crate) fn build_sites(input: &ScheduleInput) -> Vec<Site> {
+    let mut cluster_sites: Vec<(ClusterId, Site)> = Vec::new();
+    let mut singles: Vec<Site> = Vec::new();
+
+    for (i, req) in input.requests.iter().enumerate() {
+        match req.cluster {
+            Some(cid) => {
+                if let Some((_, site)) = cluster_sites.iter_mut().find(|(c, _)| *c == cid) {
+                    site.demand += req.demand;
+                    site.requests.push(i);
+                    site.critical |= req.critical;
+                } else {
+                    cluster_sites.push((
+                        cid,
+                        Site {
+                            position: req.position,
+                            demand: req.demand,
+                            requests: vec![i],
+                            critical: req.critical,
+                            service_bound_m: 0.0,
+                        },
+                    ));
+                }
+            }
+            None => singles.push(Site {
+                position: req.position,
+                demand: req.demand,
+                requests: vec![i],
+                critical: req.critical,
+                service_bound_m: 0.0,
+            }),
+        }
+    }
+
+    // Cluster site position = centroid; fix the member visit order
+    // (nearest-neighbour from the centroid) and pre-compute the service
+    // travel bound for capacity checks.
+    for (_, site) in &mut cluster_sites {
+        let pts: Vec<Point2> = site
+            .requests
+            .iter()
+            .map(|&i| input.requests[i].position)
+            .collect();
+        site.position = Point2::centroid(&pts).expect("site has members");
+        if site.requests.len() > 1 {
+            order_nearest_neighbor(&mut site.requests, input, site.position);
+            let mut bound = 0.0;
+            let mut prev = site.position;
+            for &i in &site.requests {
+                bound += prev.distance(input.requests[i].position);
+                prev = input.requests[i].position;
+            }
+            bound += prev.distance(site.position);
+            site.service_bound_m = bound;
+        }
+    }
+
+    cluster_sites.sort_by_key(|(c, _)| *c);
+    let mut sites: Vec<Site> = cluster_sites.into_iter().map(|(_, s)| s).collect();
+    sites.extend(singles);
+    sites
+}
+
+/// Reorders `requests` nearest-neighbour starting from `from`.
+fn order_nearest_neighbor(requests: &mut [usize], input: &ScheduleInput, from: Point2) {
+    let mut cursor = from;
+    for i in 0..requests.len() {
+        let (k, _) = requests[i..]
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                input.requests[a]
+                    .position
+                    .distance_squared(cursor)
+                    .total_cmp(&input.requests[b].position.distance_squared(cursor))
+            })
+            .expect("nonempty");
+        requests.swap(i, i + k);
+        cursor = input.requests[requests[i]].position;
+    }
+}
+
+/// Expands an ordered site route into an ordered request-stop list, using
+/// each site's fixed member order (§IV-C intra-cluster nearest-neighbour
+/// tour, anchored at the cluster centroid so capacity bounds stay valid).
+pub(crate) fn expand_route(
+    site_route: &[usize],
+    sites: &[Site],
+    _input: &ScheduleInput,
+    _start: Point2,
+) -> Vec<usize> {
+    site_route
+        .iter()
+        .flat_map(|&si| sites[si].requests.iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RechargeRequest, RvId, RvState, SensorId};
+
+    fn req(i: u32, x: f64, demand: f64, cluster: Option<u32>, critical: bool) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, 0.0),
+            demand,
+            cluster: cluster.map(ClusterId),
+            critical,
+        }
+    }
+
+    fn input(requests: Vec<RechargeRequest>) -> ScheduleInput {
+        ScheduleInput {
+            requests,
+            rvs: vec![RvState {
+                id: RvId(0),
+                position: Point2::ORIGIN,
+                available_energy: 1e9,
+            }],
+            base: Point2::ORIGIN,
+            cost_per_m: 1.0,
+        }
+    }
+
+    #[test]
+    fn cluster_requests_merge_into_one_site() {
+        let inp = input(vec![
+            req(0, 10.0, 100.0, Some(0), false),
+            req(1, 12.0, 50.0, Some(0), true),
+            req(2, 40.0, 75.0, None, false),
+        ]);
+        let sites = build_sites(&inp);
+        assert_eq!(sites.len(), 2);
+        let cluster = &sites[0];
+        assert_eq!(cluster.requests, vec![0, 1]);
+        assert!((cluster.demand - 150.0).abs() < 1e-9);
+        assert!((cluster.position.x - 11.0).abs() < 1e-9); // centroid
+        assert!(cluster.critical); // any critical member marks the site
+        assert_eq!(sites[1].requests, vec![2]);
+        assert!(!sites[1].critical);
+    }
+
+    #[test]
+    fn site_order_is_deterministic() {
+        let inp = input(vec![
+            req(0, 5.0, 1.0, Some(3), false),
+            req(1, 6.0, 1.0, Some(1), false),
+            req(2, 7.0, 1.0, None, false),
+        ]);
+        let sites = build_sites(&inp);
+        // Clusters ascending by id (1 before 3), then singles.
+        assert_eq!(sites[0].requests, vec![1]);
+        assert_eq!(sites[1].requests, vec![0]);
+        assert_eq!(sites[2].requests, vec![2]);
+    }
+
+    #[test]
+    fn expand_orders_members_nearest_from_centroid() {
+        let inp = input(vec![
+            req(0, 30.0, 1.0, Some(0), false),
+            req(1, 10.0, 1.0, Some(0), false),
+            req(2, 20.0, 1.0, Some(0), false),
+        ]);
+        let sites = build_sites(&inp);
+        let stops = expand_route(&[0], &sites, &inp, Point2::ORIGIN);
+        // The visit order is fixed at build time: nearest-neighbour from
+        // the centroid (x=20), so x=20 leads.
+        assert_eq!(stops[0], 2);
+        let mut sorted = stops.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn service_bound_covers_the_member_tour() {
+        let inp = input(vec![
+            req(0, 30.0, 1.0, Some(0), false),
+            req(1, 10.0, 1.0, Some(0), false),
+            req(2, 20.0, 1.0, Some(0), false),
+        ]);
+        let sites = build_sites(&inp);
+        // Centroid x=20; tour 20 → 10 → 30 plus entry/exit pads from the
+        // centroid: 0 + 10 + 20 + 10 = 40 m.
+        assert!((sites[0].service_bound_m - 40.0).abs() < 1e-9);
+        // Singleton sites carry no service travel.
+        let single = input(vec![req(0, 5.0, 1.0, None, false)]);
+        assert_eq!(build_sites(&single)[0].service_bound_m, 0.0);
+    }
+
+    #[test]
+    fn expand_multiple_sites_keeps_site_order() {
+        let inp = input(vec![
+            req(0, 10.0, 1.0, Some(0), false),
+            req(1, 100.0, 1.0, Some(1), false),
+        ]);
+        let sites = build_sites(&inp);
+        let stops = expand_route(&[1, 0], &sites, &inp, Point2::ORIGIN);
+        assert_eq!(stops, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_input_produces_no_sites() {
+        let inp = input(vec![]);
+        assert!(build_sites(&inp).is_empty());
+    }
+}

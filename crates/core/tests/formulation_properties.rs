@@ -1,0 +1,117 @@
+//! Property tests tying the two independent plan auditors together: the
+//! §IV-A MIP encoding (`formulation`) and the operational validator
+//! (`ScheduleInput::validate_plan`) must agree on every randomly generated
+//! plan — any divergence means one of them misreads the paper.
+
+use proptest::prelude::*;
+use wrsn_core::{
+    CombinedPolicy, GreedyPolicy, MipAssignment, PartitionPolicy, RechargePolicy,
+    RechargeRequest, RvId, RvRoute, RvState, SavingsPolicy, ScheduleInput, SensorId,
+};
+use wrsn_geom::Point2;
+
+prop_compose! {
+    fn arb_input()(
+        pts in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..10),
+        demands in proptest::collection::vec(100.0f64..9_000.0, 10),
+        m in 1usize..4,
+        budget in 5_000.0f64..80_000.0,
+    ) -> ScheduleInput {
+        ScheduleInput {
+            requests: pts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y))| RechargeRequest {
+                    sensor: SensorId(i as u32),
+                    position: Point2::new(x, y),
+                    demand: demands[i],
+                    cluster: None,
+                    critical: false,
+                })
+                .collect(),
+            rvs: (0..m)
+                .map(|i| RvState {
+                    id: RvId(i as u32),
+                    position: Point2::new(100.0, 100.0),
+                    available_energy: budget,
+                })
+                .collect(),
+            base: Point2::new(100.0, 100.0),
+            cost_per_m: 5.6,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mip_and_validator_agree_on_heuristic_plans(
+        input in arb_input(), seed in 0u64..50
+    ) {
+        // RVs start at the base here, so the validator's budget math and
+        // the MIP's closed-tour capacity are the same quantity.
+        for (name, plan) in [
+            ("greedy", GreedyPolicy.plan(&input)),
+            ("partition", PartitionPolicy::new(seed).plan(&input)),
+            ("combined", CombinedPolicy.plan(&input)),
+            ("savings", SavingsPolicy.plan(&input)),
+        ] {
+            let validator_ok = input.validate_plan(&plan).is_ok();
+            let mip = MipAssignment::from_plan(&input, &plan);
+            let violations = mip.check(&input, true);
+            prop_assert!(validator_ok, "{name}: validator rejected its own plan");
+            prop_assert!(
+                violations.is_empty(),
+                "{name}: MIP violations on a validator-approved plan: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mip_catches_corrupted_plans(input in arb_input(), seed in 0u64..50) {
+        // Duplicate the first stop of a non-trivial combined plan into a
+        // second RV (when one exists): both auditors must object.
+        let _ = seed;
+        let plan = CombinedPolicy.plan(&input);
+        let Some(first) = plan.first().filter(|r| !r.stops.is_empty()) else {
+            return Ok(());
+        };
+        if input.rvs.len() < 2 {
+            return Ok(());
+        }
+        let thief = input.rvs.iter().map(|r| r.id).find(|id| *id != first.rv).unwrap();
+        let mut corrupted = plan.clone();
+        corrupted.push(RvRoute { rv: thief, stops: vec![first.stops[0]] });
+        let validator_rejects = input.validate_plan(&corrupted).is_err();
+        let mip = MipAssignment::from_plan(&input, &corrupted);
+        let mip_rejects =
+            mip.check(&input, true).iter().any(|v| v.constraint == 8);
+        prop_assert!(validator_rejects, "validator accepted a double-service plan");
+        prop_assert!(mip_rejects, "MIP accepted a double-service plan");
+    }
+
+    #[test]
+    fn mip_objective_equals_sum_of_closed_tour_profits(
+        input in arb_input(), seed in 0u64..50
+    ) {
+        let _ = seed;
+        let plan = CombinedPolicy.plan(&input);
+        let mip = MipAssignment::from_plan(&input, &plan);
+        let mut expected = 0.0;
+        for route in &plan {
+            if route.stops.is_empty() {
+                continue;
+            }
+            let mut travel = 0.0;
+            let mut prev = input.base;
+            for &s in &route.stops {
+                travel += prev.distance(input.requests[s].position);
+                prev = input.requests[s].position;
+            }
+            travel += prev.distance(input.base);
+            expected += input.route_demand(route) - input.cost_per_m * travel;
+        }
+        prop_assert!((mip.objective(&input) - expected).abs() < 1e-6);
+    }
+}

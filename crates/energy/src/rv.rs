@@ -1,0 +1,114 @@
+//! Recharging-vehicle energy model (§II-A).
+
+use serde::{Deserialize, Serialize};
+use wrsn_geom::Point2;
+
+/// Energy/kinematics model of a recharging vehicle.
+///
+/// The paper's RVs consume `e_m = 5.6 J/m` while moving at a constant
+/// `v_r = 1 m/s`, and replenish sensors through a wireless charger whose
+/// nominal transfer power we set so a full sensor recharge takes on the
+/// order of an hour (Panasonic handbook fast-charge regime \[15\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RvEnergyModel {
+    /// Motion energy per meter traveled, `e_m` (J/m). Paper: 5.6.
+    pub move_j_per_m: f64,
+    /// Constant travel speed `v_r` (m/s). Paper: 1.0.
+    pub speed_mps: f64,
+    /// Nominal wireless-charging transfer power (W) delivered to a sensor.
+    pub charge_power_w: f64,
+    /// Fraction of drawn RV battery energy that reaches the sensor battery
+    /// (wireless transfer efficiency).
+    pub transfer_efficiency: f64,
+    /// RV battery capacity `C_r` (J).
+    pub battery_capacity_j: f64,
+    /// Fraction of `C_r` below which the RV returns to base to self-recharge.
+    pub low_battery_frac: f64,
+}
+
+impl RvEnergyModel {
+    /// Paper-style defaults: 5.6 J/m, 1 m/s, 3 W transfer at 90 % efficiency,
+    /// 150 kJ battery (`C_r`) with a 10 % return threshold.
+    ///
+    /// The paper fixes `e_m` and `v_r` (Table II) but neither the wireless
+    /// transfer power nor `C_r`; both are calibrated here. 3 W is the 1C
+    /// fast-charge rate of the paper's 1000 mAh / 3 V Ni-MH pack \[15\]
+    /// (a 50 % top-up takes ≈30 min); `C_r = 150 kJ` bounds one tour to
+    /// ≈20 sensor services, keeping the fleet responsive the way capacity
+    /// constraint (7) is meant to.
+    pub fn paper_defaults() -> Self {
+        Self {
+            move_j_per_m: 5.6,
+            speed_mps: 1.0,
+            charge_power_w: 3.0,
+            transfer_efficiency: 0.9,
+            battery_capacity_j: 150e3,
+            low_battery_frac: 0.1,
+        }
+    }
+
+    /// Energy (J) to travel `meters`.
+    #[inline]
+    pub fn travel_energy(&self, meters: f64) -> f64 {
+        self.move_j_per_m * meters
+    }
+
+    /// Time (s) to travel `meters` at constant speed.
+    #[inline]
+    pub fn travel_time(&self, meters: f64) -> f64 {
+        meters / self.speed_mps
+    }
+
+    /// Energy (J) and time (s) to travel from `a` to `b`.
+    pub fn leg(&self, a: Point2, b: Point2) -> (f64, f64) {
+        let d = a.distance(b);
+        (self.travel_energy(d), self.travel_time(d))
+    }
+
+    /// RV battery energy (J) drawn to deliver `joules` into a sensor.
+    #[inline]
+    pub fn source_energy_for(&self, joules: f64) -> f64 {
+        joules / self.transfer_efficiency
+    }
+}
+
+impl Default for RvEnergyModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_motion_constants() {
+        let rv = RvEnergyModel::paper_defaults();
+        assert_eq!(rv.travel_energy(100.0), 560.0);
+        assert_eq!(rv.travel_time(100.0), 100.0);
+    }
+
+    #[test]
+    fn leg_combines_distance() {
+        let rv = RvEnergyModel::paper_defaults();
+        let (e, t) = rv.leg(Point2::new(0.0, 0.0), Point2::new(3.0, 4.0));
+        assert!((e - 28.0).abs() < 1e-9);
+        assert!((t - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_efficiency_inflates_source_energy() {
+        let rv = RvEnergyModel::paper_defaults();
+        assert!((rv.source_energy_for(90.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_up_stays_in_fast_charge_envelope() {
+        let rv = RvEnergyModel::paper_defaults();
+        // A 50% top-up (5.4 kJ) at the 1C rate (3 W) ≈ 30 min; a full
+        // recharge ≈ 1 h plus taper — the handbook's fast-charge regime.
+        let top_up_min = 5_400.0 / rv.charge_power_w / 60.0;
+        assert!(top_up_min > 15.0 && top_up_min < 60.0, "{top_up_min} min");
+    }
+}

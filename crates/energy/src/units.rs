@@ -1,0 +1,67 @@
+//! Unit conversion helpers.
+//!
+//! The workspace convention is plain `f64` in SI base units (J, W, s, m);
+//! these helpers exist so datasheet constants can be written in the units the
+//! datasheets use (mA, V, mAh, days) without hand-converted magic numbers.
+
+/// Power (W) drawn by a device pulling `milliamps` at `volts`.
+#[inline]
+pub fn power_w(milliamps: f64, volts: f64) -> f64 {
+    milliamps * 1e-3 * volts
+}
+
+/// Power (W) drawn by a device pulling `microamps` at `volts`.
+#[inline]
+pub fn power_w_ua(microamps: f64, volts: f64) -> f64 {
+    microamps * 1e-6 * volts
+}
+
+/// Energy (J) stored by a cell of `milliamp_hours` at `volts`.
+#[inline]
+pub fn battery_energy_j(milliamp_hours: f64, volts: f64) -> f64 {
+    milliamp_hours * 1e-3 * 3600.0 * volts
+}
+
+/// Seconds in `days`.
+#[inline]
+pub fn days(days: f64) -> f64 {
+    days * 86_400.0
+}
+
+/// Seconds in `hours`.
+#[inline]
+pub fn hours(hours: f64) -> f64 {
+    hours * 3600.0
+}
+
+/// Seconds in `minutes`.
+#[inline]
+pub fn minutes(minutes: f64) -> f64 {
+    minutes * 60.0
+}
+
+/// Joules expressed in megajoules, for reporting (the paper's figures use
+/// MJ on their y-axes).
+#[inline]
+pub fn to_mj(joules: f64) -> f64 {
+    joules * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_conversions() {
+        // CC2480 tx: 27 mA @ 3 V = 81 mW.
+        assert!((power_w(27.0, 3.0) - 0.081).abs() < 1e-12);
+        // PIR idle: 170 µA @ 3 V = 0.51 mW.
+        assert!((power_w_ua(170.0, 3.0) - 0.00051).abs() < 1e-12);
+        // 1000 mAh @ 3 V = 10.8 kJ.
+        assert!((battery_energy_j(1000.0, 3.0) - 10_800.0).abs() < 1e-9);
+        assert_eq!(days(120.0), 10_368_000.0);
+        assert_eq!(hours(3.0), 10_800.0);
+        assert_eq!(minutes(1.0), 60.0);
+        assert!((to_mj(2_500_000.0) - 2.5).abs() < 1e-12);
+    }
+}

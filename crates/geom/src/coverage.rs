@@ -1,0 +1,71 @@
+//! Coverage helpers, including the paper's Eq. (1) minimal sensor count.
+
+use crate::Point2;
+
+/// Whether a sensor at `sensor` with sensing range `range` covers `target`
+/// (§II-A: a target is monitored if it lies within the sensing range).
+#[inline]
+pub fn disk_covers(sensor: Point2, range: f64, target: Point2) -> bool {
+    sensor.distance_squared(target) <= range * range
+}
+
+/// Eq. (1): the minimum number of sensors required for full coverage of a
+/// field of area `area` (m²) with sensing range `r` (m), under random
+/// deployment:
+///
+/// ```text
+/// N = 3·√3·S_a / (2·π·r²)
+/// ```
+///
+/// The paper uses this to justify N = 500 for a 200 m × 200 m field with
+/// r = 8 m (the formula yields ≈ 517).
+///
+/// # Panics
+/// Panics if `area` or `r` is not strictly positive/finite.
+pub fn min_sensors_for_coverage(area: f64, r: f64) -> usize {
+    assert!(
+        area.is_finite() && area > 0.0,
+        "area must be positive, got {area}"
+    );
+    assert!(
+        r.is_finite() && r > 0.0,
+        "sensing range must be positive, got {r}"
+    );
+    let n = 3.0 * 3.0_f64.sqrt() * area / (2.0 * std::f64::consts::PI * r * r);
+    n.ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper_setup() {
+        // 200 m field, 8 m sensing range: N ≈ 517, which the paper rounds to
+        // its 500-sensor deployment.
+        let n = min_sensors_for_coverage(200.0 * 200.0, 8.0);
+        assert!((500..=540).contains(&n), "expected ≈517, got {n}");
+    }
+
+    #[test]
+    fn eq1_scales_inverse_square_in_range() {
+        let n1 = min_sensors_for_coverage(10_000.0, 4.0);
+        let n2 = min_sensors_for_coverage(10_000.0, 8.0);
+        // Doubling r divides N by ~4 (up to ceil rounding).
+        assert!((n1 as f64 / n2 as f64 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn eq1_scales_linearly_in_area() {
+        let n1 = min_sensors_for_coverage(10_000.0, 8.0);
+        let n2 = min_sensors_for_coverage(20_000.0, 8.0);
+        assert!((n2 as f64 / n1 as f64 - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn disk_coverage_boundary_inclusive() {
+        let s = Point2::new(0.0, 0.0);
+        assert!(disk_covers(s, 5.0, Point2::new(3.0, 4.0)));
+        assert!(!disk_covers(s, 5.0, Point2::new(3.1, 4.0)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # wrsn-geom
+//!
+//! Geometric substrate for the `wrsn` workspace: 2-D points, the square
+//! sensing field of the paper's network model (§II), uniformly random sensor
+//! deployment, a uniform-grid spatial index for disk (range) queries, tour
+//! length helpers, and the minimal-coverage sensor count of Eq. (1).
+//!
+//! Everything here is deterministic given a seeded RNG; no global state.
+//!
+//! ```
+//! use wrsn_geom::{Field, Point2};
+//! use rand::SeedableRng;
+//!
+//! let field = Field::new(200.0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let pts = field.deploy_uniform(500, &mut rng);
+//! assert_eq!(pts.len(), 500);
+//! assert!(pts.iter().all(|p| field.contains(*p)));
+//! let d = Point2::new(0.0, 0.0).distance(Point2::new(3.0, 4.0));
+//! assert!((d - 5.0).abs() < 1e-12);
+//! ```
+
+mod coverage;
+mod deploy;
+mod field;
+mod grid;
+mod point;
+mod tour;
+
+pub use coverage::{disk_covers, min_sensors_for_coverage};
+pub use deploy::Deployment;
+pub use field::Field;
+pub use grid::GridIndex;
+pub use point::Point2;
+pub use tour::{closed_tour_length, path_length};

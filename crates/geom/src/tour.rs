@@ -1,0 +1,66 @@
+//! Tour / path length helpers shared by the TSP solvers and RV routing.
+
+use crate::Point2;
+
+/// Total length of the open polyline `points[0] → points[1] → …`.
+///
+/// Returns 0 for fewer than two points.
+pub fn path_length(points: &[Point2]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+/// Total length of the closed tour visiting `points` in order and returning
+/// to `points[0]`.
+///
+/// Returns 0 for fewer than two points.
+pub fn closed_tour_length(points: &[Point2]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    path_length(points) + points[points.len() - 1].distance(points[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerate_paths_have_zero_length() {
+        assert_eq!(path_length(&[]), 0.0);
+        assert_eq!(path_length(&[Point2::new(1.0, 1.0)]), 0.0);
+        assert_eq!(closed_tour_length(&[Point2::new(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn unit_square_tour() {
+        let sq = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        assert!((path_length(&sq) - 3.0).abs() < 1e-12);
+        assert!((closed_tour_length(&sq) - 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_closed_tour_at_least_path(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..20)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            prop_assert!(closed_tour_length(&pts) >= path_length(&pts) - 1e-9);
+        }
+
+        #[test]
+        fn prop_path_reversal_preserves_length(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..20)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let mut rev = pts.clone();
+            rev.reverse();
+            prop_assert!((path_length(&pts) - path_length(&rev)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Unit-disk communication graph in CSR form.
+
+use wrsn_geom::{GridIndex, Point2};
+
+/// Undirected communication graph: nodes are radio positions, an edge links
+/// every pair within the communication range `d_c`, weighted by Euclidean
+/// distance.
+///
+/// Stored as CSR (offsets + packed neighbor/weight arrays) — compact, cache
+/// friendly, and immutable after construction, which matches how the
+/// simulator uses it (sensor positions never move; the graph is built once).
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    weights: Vec<f64>,
+    positions: Vec<Point2>,
+    comm_range: f64,
+}
+
+impl CommGraph {
+    /// Builds the graph over `positions` with communication range
+    /// `comm_range` (meters). Uses a uniform grid so construction is
+    /// O(N · neighbors) instead of O(N²).
+    ///
+    /// # Panics
+    /// Panics if `comm_range` is not strictly positive and finite.
+    pub fn build(positions: &[Point2], comm_range: f64) -> Self {
+        assert!(
+            comm_range.is_finite() && comm_range > 0.0,
+            "comm range must be positive, got {comm_range}"
+        );
+        let n = positions.len();
+        let grid = GridIndex::build(positions, comm_range.max(1e-6));
+
+        let mut adjacency: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (i, &p) in positions.iter().enumerate() {
+            grid.for_each_within(p, comm_range, |j| {
+                if j != i {
+                    adjacency[i].push((j as u32, p.distance(positions[j])));
+                }
+            });
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let total: usize = adjacency.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for mut adj in adjacency {
+            adj.sort_unstable_by_key(|&(j, _)| j);
+            for (j, w) in adj {
+                neighbors.push(j);
+                weights.push(w);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+
+        Self {
+            offsets,
+            neighbors,
+            weights,
+            positions: positions.to_vec(),
+            comm_range,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Position of node `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> Point2 {
+        self.positions[i]
+    }
+
+    /// All node positions.
+    #[inline]
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// The communication range the graph was built with.
+    #[inline]
+    pub fn comm_range(&self) -> f64 {
+        self.comm_range
+    }
+
+    /// Neighbors of node `i` with edge weights, sorted by neighbor index.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        self.neighbors[s..e]
+            .iter()
+            .zip(&self.weights[s..e])
+            .map(|(&j, &w)| (j as usize, w))
+    }
+
+    /// Node degree.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Connected component id for every node (ids are arbitrary but equal
+    /// within a component). Useful for diagnosing disconnected deployments.
+    pub fn components(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut stack = Vec::new();
+        let mut next = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for (v, _) in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chain(n: usize, spacing: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn chain_adjacency() {
+        let g = CommGraph::build(&chain(4, 10.0), 12.0);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        let n1: Vec<usize> = g.neighbors(1).map(|(j, _)| j).collect();
+        assert_eq!(n1, vec![0, 2]);
+        let w: Vec<f64> = g.neighbors(1).map(|(_, w)| w).collect();
+        assert!(w.iter().all(|&d| (d - 10.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn range_boundary_is_inclusive() {
+        let pos = [
+            Point2::new(0.0, 0.0),
+            Point2::new(12.0, 0.0),
+            Point2::new(24.1, 0.0),
+        ];
+        let g = CommGraph::build(&pos, 12.0);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1); // 12.1 m to node 2 exceeds range
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let mut pos = chain(3, 10.0);
+        pos.extend(
+            chain(2, 10.0)
+                .into_iter()
+                .map(|p| Point2::new(p.x + 100.0, p.y)),
+        );
+        let g = CommGraph::build(&pos, 12.0);
+        let c = g.components();
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CommGraph::build(&[], 12.0);
+        assert!(g.is_empty());
+        assert_eq!(g.components(), Vec::<usize>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_graph_is_symmetric(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..80),
+            range in 1.0f64..40.0,
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let g = CommGraph::build(&pts, range);
+            for i in 0..g.len() {
+                for (j, w) in g.neighbors(i) {
+                    let back = g.neighbors(j).find(|&(k, _)| k == i);
+                    prop_assert!(back.is_some(), "edge {i}->{j} missing reverse");
+                    prop_assert!((back.unwrap().1 - w).abs() < 1e-9);
+                    prop_assert!(w <= range + 1e-9);
+                }
+            }
+        }
+    }
+}

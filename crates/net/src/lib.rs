@@ -1,0 +1,43 @@
+//! # wrsn-net
+//!
+//! Network substrate for the `wrsn` workspace.
+//!
+//! The paper's sensors report data to the base station in multi-hops over
+//! paths "calculated using Dijkstra's shortest path algorithm" (§V). This
+//! crate provides:
+//!
+//! * [`CommGraph`] — the unit-disk communication graph induced by sensor
+//!   positions and the communication range `d_c` (paper: 12 m), stored in a
+//!   compact CSR layout.
+//! * [`shortest_paths`] / [`bellman_ford`] — single-source shortest path
+//!   trees (Bellman-Ford doubles as the property-test oracle).
+//! * [`RoutingTree`] — per-node next hops toward a sink (the base station)
+//!   plus reachability.
+//! * [`relay_loads`] — per-node average transmit/receive packet rates given
+//!   each node's own data generation rate, used to convert routing into
+//!   radio energy drain.
+//!
+//! ```
+//! use wrsn_geom::Point2;
+//! use wrsn_net::{CommGraph, RoutingTree, relay_loads};
+//!
+//! // A 3-node chain: bs(0) — a(1) — b(2), 10 m hops, 12 m comm range.
+//! let pos = [Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), Point2::new(20.0, 0.0)];
+//! let g = CommGraph::build(&pos, 12.0);
+//! let tree = RoutingTree::toward(&g, 0);
+//! assert_eq!(tree.next_hop(2), Some(1));
+//! let loads = relay_loads(&tree, &[0.0, 1.0, 1.0]);
+//! assert!((loads[1].tx_pps - 2.0).abs() < 1e-12); // relays b's packets
+//! ```
+
+mod graph;
+mod routing;
+mod shortest_path;
+mod stats;
+mod traffic;
+
+pub use graph::CommGraph;
+pub use routing::RoutingTree;
+pub use shortest_path::{bellman_ford, shortest_paths, shortest_paths_enabled, ShortestPaths};
+pub use stats::{network_stats, NetworkStats};
+pub use traffic::{relay_loads, TrafficLoad};

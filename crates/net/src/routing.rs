@@ -1,0 +1,193 @@
+//! Routing tree toward the base station.
+
+use crate::{shortest_paths_enabled, CommGraph};
+
+/// Per-node next hops toward a sink node, derived from a shortest-path tree
+/// (the paper routes data to the base station along Dijkstra paths, §V).
+#[derive(Debug, Clone)]
+pub struct RoutingTree {
+    sink: usize,
+    next_hop: Vec<Option<usize>>,
+    hops: Vec<Option<usize>>,
+    dist: Vec<f64>,
+}
+
+impl RoutingTree {
+    /// Builds the routing tree of shortest paths toward `sink`.
+    pub fn toward(graph: &CommGraph, sink: usize) -> Self {
+        Self::toward_enabled(graph, sink, |_| true)
+    }
+
+    /// Like [`RoutingTree::toward`] but routing only through nodes for
+    /// which `enabled` is true (depleted sensors cannot relay).
+    pub fn toward_enabled<F: Fn(usize) -> bool>(
+        graph: &CommGraph,
+        sink: usize,
+        enabled: F,
+    ) -> Self {
+        // Shortest paths *from* the sink equal shortest paths *to* it
+        // (the graph is undirected); each node's parent in that tree is its
+        // next hop toward the sink.
+        let sp = shortest_paths_enabled(graph, sink, enabled);
+        let n = graph.len();
+        let mut hops = vec![None; n];
+        hops[sink] = Some(0);
+        // Nodes sorted by distance: parents resolve before children.
+        let mut order: Vec<usize> = (0..n).filter(|&v| sp.reachable(v)).collect();
+        order.sort_by(|&a, &b| sp.dist[a].total_cmp(&sp.dist[b]));
+        for &v in &order {
+            if v == sink {
+                continue;
+            }
+            if let Some(p) = sp.parent[v] {
+                hops[v] = hops[p].map(|h| h + 1);
+            }
+        }
+        Self {
+            sink,
+            next_hop: sp.parent.clone(),
+            hops,
+            dist: sp.dist.clone(),
+        }
+    }
+
+    /// The sink (base station) node.
+    #[inline]
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.next_hop.len()
+    }
+
+    /// True when the tree has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next_hop.is_empty()
+    }
+
+    /// Next hop of `v` toward the sink. `None` for the sink itself and for
+    /// disconnected nodes.
+    #[inline]
+    pub fn next_hop(&self, v: usize) -> Option<usize> {
+        self.next_hop[v]
+    }
+
+    /// Hop count from `v` to the sink (0 for the sink), `None` when
+    /// disconnected.
+    #[inline]
+    pub fn hops(&self, v: usize) -> Option<usize> {
+        self.hops[v]
+    }
+
+    /// Whether `v` can deliver data to the sink.
+    #[inline]
+    pub fn connected(&self, v: usize) -> bool {
+        v == self.sink || self.next_hop[v].is_some()
+    }
+
+    /// Shortest-path distance (meters) from `v` to the sink.
+    #[inline]
+    pub fn distance(&self, v: usize) -> f64 {
+        self.dist[v]
+    }
+
+    /// The full route `v → … → sink`, or `None` when disconnected.
+    pub fn route(&self, v: usize) -> Option<Vec<usize>> {
+        if !self.connected(v) {
+            return None;
+        }
+        let mut route = vec![v];
+        let mut cur = v;
+        while let Some(h) = self.next_hop[cur] {
+            route.push(h);
+            cur = h;
+        }
+        Some(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wrsn_geom::Point2;
+
+    fn chain(n: usize, spacing: f64) -> CommGraph {
+        let pos: Vec<Point2> = (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect();
+        CommGraph::build(&pos, spacing + 1.0)
+    }
+
+    #[test]
+    fn chain_routes_downhill() {
+        let g = chain(5, 10.0);
+        let t = RoutingTree::toward(&g, 0);
+        for v in 1..5 {
+            assert_eq!(t.next_hop(v), Some(v - 1));
+            assert_eq!(t.hops(v), Some(v));
+        }
+        assert_eq!(t.next_hop(0), None);
+        assert_eq!(t.hops(0), Some(0));
+        assert_eq!(t.route(4).unwrap(), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dead_relay_breaks_the_chain() {
+        // 0 — 1 — 2: with node 1 disabled, node 2 loses its route.
+        let g = chain(3, 10.0);
+        let t = RoutingTree::toward_enabled(&g, 0, |v| v != 1);
+        assert!(!t.connected(1));
+        assert!(!t.connected(2));
+        assert!(t.connected(0));
+    }
+
+    #[test]
+    fn dead_relay_forces_detour() {
+        // Square: 0 — 1 — 3 and 0 — 2 — 3. Disabling 1 reroutes 3 via 2.
+        let pos = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(0.0, 10.0),
+            Point2::new(10.0, 10.0),
+        ];
+        let g = CommGraph::build(&pos, 11.0);
+        let t = RoutingTree::toward_enabled(&g, 0, |v| v != 1);
+        assert_eq!(t.next_hop(3), Some(2));
+        assert_eq!(t.hops(3), Some(2));
+    }
+
+    #[test]
+    fn disconnected_node_has_no_route() {
+        let pos = [Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)];
+        let g = CommGraph::build(&pos, 12.0);
+        let t = RoutingTree::toward(&g, 0);
+        assert!(!t.connected(1));
+        assert!(t.route(1).is_none());
+        assert!(t.hops(1).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_routes_are_acyclic_and_terminate_at_sink(
+            pts in proptest::collection::vec((0.0f64..80.0, 0.0f64..80.0), 1..60),
+            range in 5.0f64..30.0,
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let g = CommGraph::build(&pts, range);
+            let t = RoutingTree::toward(&g, 0);
+            for v in 0..g.len() {
+                if let Some(route) = t.route(v) {
+                    prop_assert_eq!(*route.last().unwrap(), 0);
+                    prop_assert!(route.len() <= g.len(), "cycle detected");
+                    // Hop counts agree with route length.
+                    prop_assert_eq!(t.hops(v).unwrap(), route.len() - 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Single-source shortest paths: Dijkstra (production) and Bellman-Ford
+//! (reference oracle for property tests).
+
+use crate::CommGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// `dist[v]` = shortest distance from the source to `v`
+    /// (`f64::INFINITY` when unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` = predecessor of `v` on a shortest path from the source
+    /// (`None` for the source itself and for unreachable nodes).
+    pub parent: Vec<Option<usize>>,
+    /// The source node.
+    pub source: usize,
+}
+
+impl ShortestPaths {
+    /// Whether `v` is reachable from the source.
+    #[inline]
+    pub fn reachable(&self, v: usize) -> bool {
+        self.dist[v].is_finite()
+    }
+
+    /// Reconstructs the path source → … → `v`, or `None` if unreachable.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+}
+
+/// Binary-heap entry ordered by smallest distance first.
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; weights are finite non-negative distances.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+/// Dijkstra's algorithm from `source` over the communication graph.
+///
+/// O((V + E) log V) with a binary heap; edge weights (distances) are always
+/// non-negative so Dijkstra is applicable.
+///
+/// # Panics
+/// Panics if `source` is out of bounds.
+pub fn shortest_paths(graph: &CommGraph, source: usize) -> ShortestPaths {
+    shortest_paths_enabled(graph, source, |_| true)
+}
+
+/// Dijkstra restricted to nodes for which `enabled` returns `true`
+/// (disabled nodes — e.g. sensors with depleted batteries — can neither
+/// relay nor terminate paths; they report as unreachable). The source
+/// itself is always enabled.
+///
+/// # Panics
+/// Panics if `source` is out of bounds.
+pub fn shortest_paths_enabled<F: Fn(usize) -> bool>(
+    graph: &CommGraph,
+    source: usize,
+    enabled: F,
+) -> ShortestPaths {
+    let n = graph.len();
+    assert!(source < n, "source {source} out of bounds for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source as u32,
+    });
+
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        let u = node as usize;
+        if d > dist[u] {
+            continue; // stale entry
+        }
+        for (v, w) in graph.neighbors(u) {
+            if !enabled(v) {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = Some(u);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: v as u32,
+                });
+            }
+        }
+    }
+    ShortestPaths {
+        dist,
+        parent,
+        source,
+    }
+}
+
+/// Bellman-Ford from `source`. O(V·E); kept as the independently-coded
+/// oracle the property tests compare Dijkstra against.
+///
+/// # Panics
+/// Panics if `source` is out of bounds.
+pub fn bellman_ford(graph: &CommGraph, source: usize) -> ShortestPaths {
+    let n = graph.len();
+    assert!(source < n, "source {source} out of bounds for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    dist[source] = 0.0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for u in 0..n {
+            if !dist[u].is_finite() {
+                continue;
+            }
+            for (v, w) in graph.neighbors(u) {
+                if dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                    parent[v] = Some(u);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ShortestPaths {
+        dist,
+        parent,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wrsn_geom::Point2;
+
+    fn grid_graph() -> CommGraph {
+        // 3×3 grid with 10 m spacing, 12 m comm range: only axis-aligned
+        // neighbors connect (diagonal = 14.1 m).
+        let pos: Vec<Point2> = (0..9)
+            .map(|i| Point2::new((i % 3) as f64 * 10.0, (i / 3) as f64 * 10.0))
+            .collect();
+        CommGraph::build(&pos, 12.0)
+    }
+
+    #[test]
+    fn dijkstra_on_grid() {
+        let g = grid_graph();
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist[0], 0.0);
+        assert!((sp.dist[8] - 40.0).abs() < 1e-9); // manhattan path
+        let path = sp.path_to(8).unwrap();
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&8));
+        assert_eq!(path.len(), 5); // 4 hops
+    }
+
+    #[test]
+    fn unreachable_nodes_report_infinity() {
+        let pos = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(500.0, 0.0),
+        ];
+        let g = CommGraph::build(&pos, 12.0);
+        let sp = shortest_paths(&g, 0);
+        assert!(sp.reachable(1));
+        assert!(!sp.reachable(2));
+        assert!(sp.path_to(2).is_none());
+    }
+
+    #[test]
+    fn path_to_source_is_trivial() {
+        let g = grid_graph();
+        let sp = shortest_paths(&g, 4);
+        assert_eq!(sp.path_to(4).unwrap(), vec![4]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dijkstra_matches_bellman_ford(
+            pts in proptest::collection::vec((0.0f64..60.0, 0.0f64..60.0), 1..50),
+            range in 5.0f64..30.0,
+            src_sel in 0usize..50,
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let g = CommGraph::build(&pts, range);
+            let src = src_sel % g.len();
+            let a = shortest_paths(&g, src);
+            let b = bellman_ford(&g, src);
+            for v in 0..g.len() {
+                match (a.dist[v].is_finite(), b.dist[v].is_finite()) {
+                    (true, true) => prop_assert!((a.dist[v] - b.dist[v]).abs() < 1e-6),
+                    (fa, fb) => prop_assert_eq!(fa, fb, "reachability mismatch at {}", v),
+                }
+            }
+        }
+
+        #[test]
+        fn prop_parents_form_shortest_path_tree(
+            pts in proptest::collection::vec((0.0f64..60.0, 0.0f64..60.0), 2..50),
+            range in 5.0f64..30.0,
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let g = CommGraph::build(&pts, range);
+            let sp = shortest_paths(&g, 0);
+            for v in 0..g.len() {
+                if let Some(p) = sp.parent[v] {
+                    // Parent edge exists and distances are consistent.
+                    let w = g.neighbors(p).find(|&(k, _)| k == v).map(|(_, w)| w);
+                    prop_assert!(w.is_some());
+                    prop_assert!((sp.dist[p] + w.unwrap() - sp.dist[v]).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

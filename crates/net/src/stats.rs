@@ -1,0 +1,128 @@
+//! Network-level statistics: the structural health report of a routing
+//! tree (used by the CLI's `inspect` and by deployment studies).
+
+use crate::{relay_loads, RoutingTree};
+
+/// Summary statistics of a routing tree and its traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Nodes (excluding the sink) able to reach the sink.
+    pub connected: usize,
+    /// Nodes (excluding the sink) unable to reach the sink.
+    pub disconnected: usize,
+    /// Maximum hop count among connected nodes.
+    pub max_hops: usize,
+    /// Mean hop count among connected nodes (0 when none).
+    pub mean_hops: f64,
+    /// Mean shortest-path distance to the sink (m) among connected nodes.
+    pub mean_path_m: f64,
+    /// The node carrying the most relayed traffic and its rate (pps) —
+    /// the network's energy bottleneck.
+    pub busiest_relay: Option<(usize, f64)>,
+    /// Total packets per second arriving at the sink.
+    pub sink_rx_pps: f64,
+}
+
+/// Computes [`NetworkStats`] for a routing tree and per-node generation
+/// rates (`gen_pps[v]`, packets per second; index 0 = the sink).
+///
+/// # Panics
+/// Panics when `gen_pps.len()` differs from the tree size.
+pub fn network_stats(tree: &RoutingTree, gen_pps: &[f64]) -> NetworkStats {
+    assert_eq!(
+        gen_pps.len(),
+        tree.len(),
+        "one generation rate per node required"
+    );
+    let sink = tree.sink();
+    let mut connected = 0usize;
+    let mut disconnected = 0usize;
+    let mut hop_sum = 0usize;
+    let mut max_hops = 0usize;
+    let mut dist_sum = 0.0;
+    for v in 0..tree.len() {
+        if v == sink {
+            continue;
+        }
+        if tree.connected(v) {
+            connected += 1;
+            let h = tree.hops(v).expect("connected node has hops");
+            hop_sum += h;
+            max_hops = max_hops.max(h);
+            dist_sum += tree.distance(v);
+        } else {
+            disconnected += 1;
+        }
+    }
+    let loads = relay_loads(tree, gen_pps);
+    let busiest_relay = (0..tree.len())
+        .filter(|&v| v != sink && loads[v].rx_pps > 0.0)
+        .max_by(|&a, &b| loads[a].rx_pps.total_cmp(&loads[b].rx_pps))
+        .map(|v| (v, loads[v].rx_pps));
+    NetworkStats {
+        connected,
+        disconnected,
+        max_hops,
+        mean_hops: if connected > 0 {
+            hop_sum as f64 / connected as f64
+        } else {
+            0.0
+        },
+        mean_path_m: if connected > 0 {
+            dist_sum / connected as f64
+        } else {
+            0.0
+        },
+        busiest_relay,
+        sink_rx_pps: loads[sink].rx_pps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommGraph;
+    use wrsn_geom::Point2;
+
+    fn chain(n: usize) -> RoutingTree {
+        let pos: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 10.0, 0.0)).collect();
+        RoutingTree::toward(&CommGraph::build(&pos, 12.0), 0)
+    }
+
+    #[test]
+    fn chain_statistics() {
+        // 0(sink) ← 1 ← 2 ← 3, all generating 1 pps.
+        let t = chain(4);
+        let s = network_stats(&t, &[0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.connected, 3);
+        assert_eq!(s.disconnected, 0);
+        assert_eq!(s.max_hops, 3);
+        assert!((s.mean_hops - 2.0).abs() < 1e-12);
+        assert!((s.mean_path_m - 20.0).abs() < 1e-12);
+        // Node 1 relays nodes 2 and 3: the bottleneck.
+        assert_eq!(s.busiest_relay, Some((1, 2.0)));
+        assert!((s.sink_rx_pps - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_nodes_are_counted() {
+        let pos = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(500.0, 0.0),
+        ];
+        let t = RoutingTree::toward(&CommGraph::build(&pos, 12.0), 0);
+        let s = network_stats(&t, &[0.0, 1.0, 1.0]);
+        assert_eq!(s.connected, 1);
+        assert_eq!(s.disconnected, 1);
+        assert!((s.sink_rx_pps - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_network_has_no_bottleneck() {
+        let t = chain(3);
+        let s = network_stats(&t, &[0.0, 0.0, 0.0]);
+        assert_eq!(s.busiest_relay, None);
+        assert_eq!(s.sink_rx_pps, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Relay traffic loads: how much each node transmits and receives.
+
+use crate::RoutingTree;
+
+/// Average packet rates of one node (packets per second).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrafficLoad {
+    /// Packets per second the node transmits (its own data + relayed).
+    pub tx_pps: f64,
+    /// Packets per second the node receives (relayed from children).
+    pub rx_pps: f64,
+}
+
+/// Computes per-node traffic loads from each node's own data generation rate
+/// (`gen_pps`, packets per second) and the routing tree.
+///
+/// Every connected node transmits its own packets plus everything it relays;
+/// it receives the transmissions of its children in the routing tree. The
+/// sink receives everything but transmits nothing. Disconnected nodes have
+/// no route, so they neither transmit nor receive (their radio stays idle).
+///
+/// # Panics
+/// Panics when `gen_pps.len()` differs from the tree size or any rate is
+/// negative/non-finite.
+pub fn relay_loads(tree: &RoutingTree, gen_pps: &[f64]) -> Vec<TrafficLoad> {
+    assert_eq!(
+        gen_pps.len(),
+        tree.len(),
+        "one generation rate per node required"
+    );
+    assert!(
+        gen_pps.iter().all(|r| r.is_finite() && *r >= 0.0),
+        "generation rates must be non-negative"
+    );
+    let n = tree.len();
+    let mut loads = vec![TrafficLoad::default(); n];
+
+    // Process nodes deepest-first so children accumulate into parents.
+    let mut order: Vec<usize> = (0..n).filter(|&v| tree.connected(v)).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(tree.hops(v).unwrap_or(0)));
+
+    let mut subtree = gen_pps.to_vec(); // own + descendants, for connected nodes
+    for &v in &order {
+        if v == tree.sink() {
+            continue;
+        }
+        loads[v].tx_pps = subtree[v];
+        if let Some(p) = tree.next_hop(v) {
+            subtree[p] += subtree[v];
+            loads[p].rx_pps += subtree[v];
+        }
+    }
+    // The sink does not forward upward; leave its tx at 0.
+    loads[tree.sink()].tx_pps = 0.0;
+    // Disconnected nodes keep the default 0/0.
+    for (v, load) in loads.iter_mut().enumerate() {
+        if !tree.connected(v) {
+            *load = TrafficLoad::default();
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommGraph, RoutingTree};
+    use proptest::prelude::*;
+    use wrsn_geom::Point2;
+
+    fn chain_tree(n: usize) -> RoutingTree {
+        let pos: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64 * 10.0, 0.0)).collect();
+        RoutingTree::toward(&CommGraph::build(&pos, 12.0), 0)
+    }
+
+    #[test]
+    fn chain_accumulates_toward_sink() {
+        // 0(sink) ← 1 ← 2 ← 3, each generating 1 pps.
+        let t = chain_tree(4);
+        let loads = relay_loads(&t, &[0.0, 1.0, 1.0, 1.0]);
+        assert!((loads[3].tx_pps - 1.0).abs() < 1e-12);
+        assert!((loads[2].tx_pps - 2.0).abs() < 1e-12);
+        assert!((loads[2].rx_pps - 1.0).abs() < 1e-12);
+        assert!((loads[1].tx_pps - 3.0).abs() < 1e-12);
+        assert!((loads[1].rx_pps - 2.0).abs() < 1e-12);
+        assert_eq!(loads[0].tx_pps, 0.0);
+        assert!((loads[0].rx_pps - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_silent() {
+        let pos = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(500.0, 0.0),
+        ];
+        let t = RoutingTree::toward(&CommGraph::build(&pos, 12.0), 0);
+        let loads = relay_loads(&t, &[0.0, 2.0, 5.0]);
+        assert!((loads[1].tx_pps - 2.0).abs() < 1e-12);
+        assert_eq!(loads[2], TrafficLoad::default());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_traffic_conservation(
+            pts in proptest::collection::vec((0.0f64..80.0, 0.0f64..80.0), 1..60),
+            rates in proptest::collection::vec(0.0f64..5.0, 60),
+            range in 5.0f64..30.0,
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let g = CommGraph::build(&pts, range);
+            let t = RoutingTree::toward(&g, 0);
+            let gen: Vec<f64> = (0..g.len()).map(|i| rates[i]).collect();
+            let loads = relay_loads(&t, &gen);
+
+            // The sink receives exactly the sum of generation rates of all
+            // connected non-sink nodes.
+            let expected: f64 = (1..g.len()).filter(|&v| t.connected(v)).map(|v| gen[v]).sum();
+            prop_assert!((loads[0].rx_pps - expected).abs() < 1e-6);
+
+            // Per-node conservation: tx = own + rx (for connected non-sink).
+            for v in 1..g.len() {
+                if t.connected(v) {
+                    prop_assert!((loads[v].tx_pps - gen[v] - loads[v].rx_pps).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! The paper's Partition-Scheme (§IV-D-1) splits the recharge node list into
+//! `m` geographic groups with "the well-known K-means [23] method",
+//! minimizing the Within-Cluster Sum of Squares (WCSS, Eq. 15); each group's
+//! mean position seeds the corresponding RV.
+
+use rand::Rng;
+use wrsn_geom::Point2;
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on centroid movement (meters).
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `assignment[i]` = cluster index of point `i` (in `0..k`).
+    pub assignment: Vec<usize>,
+    /// Final cluster centroids (`μ_i` of Eq. 15). Length `k`.
+    pub centroids: Vec<Point2>,
+    /// Final Within-Cluster Sum of Squares (Eq. 15 objective).
+    pub wcss: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs k-means++ seeded Lloyd iterations to partition `points` into `k`
+/// clusters.
+///
+/// When `k >= points.len()`, every point gets its own cluster (remaining
+/// centroids duplicate existing points so the result still has `k`
+/// centroids with empty clusters at the end).
+///
+/// # Panics
+/// Panics when `k == 0` or `points` is empty.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Point2],
+    k: usize,
+    config: &KMeansConfig,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    let n = points.len();
+    let k_eff = k.min(n);
+
+    // k-means++ seeding: first centroid uniform, then proportional to the
+    // squared distance to the nearest chosen centroid.
+    let mut centroids: Vec<Point2> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)]);
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| p.distance_squared(centroids[0]))
+        .collect();
+    while centroids.len() < k_eff {
+        let total: f64 = d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut r = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if r < w {
+                    idx = i;
+                    break;
+                }
+                r -= w;
+            }
+            idx
+        };
+        let c = points[chosen];
+        centroids.push(c);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.distance_squared(c));
+        }
+    }
+    // Pad with duplicates when k > n so callers always get k centroids.
+    while centroids.len() < k {
+        centroids.push(centroids[centroids.len() % k_eff]);
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // Assign.
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = (0..k)
+                .min_by(|&a, &b| {
+                    p.distance_squared(centroids[a])
+                        .total_cmp(&p.distance_squared(centroids[b]))
+                })
+                .expect("k > 0");
+        }
+        // Update.
+        let mut sums = vec![Point2::ORIGIN; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            sums[assignment[i]] = sums[assignment[i]] + *p;
+            counts[assignment[i]] += 1;
+        }
+        let mut moved: f64 = 0.0;
+        for c in 0..k {
+            if counts[c] > 0 {
+                let nc = sums[c] / counts[c] as f64;
+                moved = moved.max(nc.distance(centroids[c]));
+                centroids[c] = nc;
+            }
+            // Empty clusters keep their centroid (k-means++ makes this rare).
+        }
+        if moved <= config.tol {
+            break;
+        }
+    }
+
+    let wcss = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.distance_squared(centroids[assignment[i]]))
+        .sum();
+    KMeansResult {
+        assignment,
+        centroids,
+        wcss,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point2::new(i as f64 * 0.1, 0.0)); // blob near origin
+            pts.push(Point2::new(100.0 + i as f64 * 0.1, 0.0)); // far blob
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let pts = two_blobs();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let res = kmeans(&pts, 2, &KMeansConfig::default(), &mut rng);
+        // All even-index points (blob A) share a cluster, odd share the other.
+        let a = res.assignment[0];
+        assert!(pts.iter().enumerate().all(|(i, _)| {
+            if i % 2 == 0 {
+                res.assignment[i] == a
+            } else {
+                res.assignment[i] != a
+            }
+        }));
+        assert!(
+            res.wcss < 10.0,
+            "tight blobs should have tiny WCSS: {}",
+            res.wcss
+        );
+    }
+
+    #[test]
+    fn k_equals_one_centroid_is_mean() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 3.0),
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let res = kmeans(&pts, 1, &KMeansConfig::default(), &mut rng);
+        let c = res.centroids[0];
+        assert!((c.x - 1.0).abs() < 1e-9 && (c.y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_n_still_assigns() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(5.0, 5.0)];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let res = kmeans(&pts, 5, &KMeansConfig::default(), &mut rng);
+        assert_eq!(res.centroids.len(), 5);
+        assert!(res.assignment.iter().all(|&a| a < 5));
+        assert!(res.wcss < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        let a = kmeans(&pts, 3, &KMeansConfig::default(), &mut r1);
+        let b = kmeans(&pts, 3, &KMeansConfig::default(), &mut r2);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.wcss, b.wcss);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_assignment_is_nearest_centroid(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60),
+            k in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let res = kmeans(&pts, k, &KMeansConfig::default(), &mut rng);
+            for (i, p) in pts.iter().enumerate() {
+                let assigned = p.distance_squared(res.centroids[res.assignment[i]]);
+                for c in &res.centroids {
+                    prop_assert!(assigned <= p.distance_squared(*c) + 1e-9);
+                }
+            }
+            // WCSS of the result is no worse than assigning everything to
+            // the global mean (the k=1 solution).
+            let mean = Point2::centroid(&pts).unwrap();
+            let base: f64 = pts.iter().map(|p| p.distance_squared(mean)).sum();
+            prop_assert!(res.wcss <= base + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # wrsn-opt
+//!
+//! Optimization substrate for the `wrsn` workspace:
+//!
+//! * [`kmeans`] — the K-means partition (with k-means++ seeding and WCSS
+//!   tracking) used by the paper's Partition-Scheme (§IV-D-1, ref. \[23\]).
+//! * [`DistMatrix`], [`nearest_neighbor_tour`], [`two_opt`],
+//!   [`held_karp_tour`] — TSP machinery: the nearest-neighbour heuristic the
+//!   paper uses for intra-cluster tours (§IV-C, ref. \[24\]), a 2-opt
+//!   improver, and an exact Held-Karp solver for small instances (oracle in
+//!   tests and benches).
+//! * [`ProfitInstance`] / [`solve_exact`] — exact branch-free dynamic
+//!   program for the paper's NP-hard recharge problem (TSP with Profits,
+//!   §IV-A): maximizes recharged demand minus travel cost over up to `m`
+//!   capacitated tours. Exponential in node count; used to validate the
+//!   heuristics on small instances (the paper itself only compares
+//!   heuristics).
+//!
+//! ```
+//! use wrsn_geom::Point2;
+//! use wrsn_opt::{kmeans, KMeansConfig};
+//! use rand::SeedableRng;
+//!
+//! let pts: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64, 0.0)).collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let res = kmeans(&pts, 2, &KMeansConfig::default(), &mut rng);
+//! assert_eq!(res.assignment.len(), 20);
+//! assert_eq!(res.centroids.len(), 2);
+//! ```
+
+mod kmeans;
+mod matrix;
+mod oropt;
+mod profits;
+mod tsp;
+
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use matrix::DistMatrix;
+pub use oropt::{improve_tour, or_opt};
+pub use profits::{solve_exact, ExactSolution, ProfitInstance};
+pub use tsp::{held_karp_tour, nearest_neighbor_tour, tour_cost, two_opt};

@@ -1,0 +1,98 @@
+//! Symmetric distance matrix for the TSP solvers.
+
+use wrsn_geom::Point2;
+
+/// Dense symmetric distance matrix over a fixed point set.
+///
+/// Stores the full n×n array (not just a triangle): the TSP inner loops are
+/// dominated by random lookups, and the branch-free `i*n + j` indexing is
+/// faster than triangle arithmetic for the instance sizes involved.
+#[derive(Debug, Clone)]
+pub struct DistMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistMatrix {
+    /// Builds the Euclidean distance matrix of `points`.
+    pub fn from_points(points: &[Point2]) -> Self {
+        let n = points.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = points[i].distance(points[j]);
+                d[i * n + j] = dist;
+                d[j * n + i] = dist;
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Builds from an explicit cost function (must be symmetric; the
+    /// constructor symmetrizes by evaluating only `i < j`).
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut cost: F) -> Self {
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let c = cost(i, j);
+                assert!(
+                    c.is_finite() && c >= 0.0,
+                    "costs must be finite and non-negative"
+                );
+                d[i * n + j] = c;
+                d[j * n + i] = c;
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Matrix dimension (number of points).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a 0×0 matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.d[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matrix_is_symmetric_with_zero_diagonal() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 4.0),
+            Point2::new(6.0, 8.0),
+        ];
+        let m = DistMatrix::from_points(&pts);
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((m.get(0, 2) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_symmetrizes() {
+        let m = DistMatrix::from_fn(3, |i, j| (i + j) as f64);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(2, 1), 3.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Or-opt local search: relocate short segments (1–3 consecutive nodes)
+//! to a better position. Complements 2-opt — Or-opt moves are not
+//! expressible as a single 2-opt reversal, and the pair together forms the
+//! standard lightweight TSP improvement stack.
+
+use crate::{tour_cost, DistMatrix};
+
+/// Or-opt on a closed tour: repeatedly relocates segments of length 1–3 to
+/// the position that most shortens the tour, until no improving move
+/// exists. Keeps `tour[0]` fixed (the depot). Never lengthens the tour.
+pub fn or_opt(dist: &DistMatrix, tour: &mut Vec<usize>) {
+    let n = tour.len();
+    if n < 4 {
+        return;
+    }
+    let mut improved = true;
+    while improved {
+        improved = false;
+        'moves: for seg_len in 1..=3usize.min(n - 2) {
+            // Segment starts at positions 1.. (never moves the depot).
+            for start in 1..=(n - seg_len) {
+                let end = start + seg_len; // exclusive
+                let prev = tour[start - 1];
+                let first = tour[start];
+                let last = tour[end - 1];
+                let next = tour[end % n];
+                let removal_gain =
+                    dist.get(prev, first) + dist.get(last, next) - dist.get(prev, next);
+                if removal_gain <= 1e-12 {
+                    continue;
+                }
+                // Try reinsertion between every remaining consecutive pair.
+                for pos in 0..n {
+                    // `pos` indexes the edge (tour[pos], tour[pos+1 mod n])
+                    // in the tour *after* removal; skip edges inside or
+                    // adjacent to the segment.
+                    if pos >= start.saturating_sub(1) && pos < end {
+                        continue;
+                    }
+                    let a = tour[pos];
+                    let b = tour[(pos + 1) % n];
+                    let insert_cost = dist.get(a, first) + dist.get(last, b) - dist.get(a, b);
+                    if insert_cost < removal_gain - 1e-12 {
+                        // Perform the relocation.
+                        let seg: Vec<usize> = tour.drain(start..end).collect();
+                        // Recompute the insertion index in the shrunken tour.
+                        let a_idx = tour.iter().position(|&v| v == a).expect("anchor survived");
+                        let at = a_idx + 1;
+                        for (k, v) in seg.into_iter().enumerate() {
+                            tour.insert(at + k, v);
+                        }
+                        improved = true;
+                        continue 'moves;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: nearest-neighbour construction + 2-opt + Or-opt, the full
+/// lightweight improvement stack. Returns the tour and its cost.
+pub fn improve_tour(dist: &DistMatrix, start: usize) -> (Vec<usize>, f64) {
+    let mut tour = crate::nearest_neighbor_tour(dist, start);
+    crate::two_opt(dist, &mut tour);
+    or_opt(dist, &mut tour);
+    crate::two_opt(dist, &mut tour);
+    let cost = tour_cost(dist, &tour);
+    (tour, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{held_karp_tour, nearest_neighbor_tour, two_opt};
+    use proptest::prelude::*;
+    use wrsn_geom::Point2;
+
+    #[test]
+    fn relocates_an_out_of_place_node() {
+        // Points on a line; NN from 0 visits in order, but a hand-built
+        // tour with node 3 misplaced must be repaired.
+        let pts: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64 * 10.0, 0.0)).collect();
+        let m = DistMatrix::from_points(&pts);
+        let mut tour = vec![0, 3, 1, 2, 4];
+        let before = tour_cost(&m, &tour);
+        or_opt(&m, &mut tour);
+        let after = tour_cost(&m, &tour);
+        assert!(after < before, "{before} -> {after}");
+        assert!((after - tour_cost(&m, &[0, 1, 2, 3, 4])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depot_stays_first() {
+        let pts: Vec<Point2> = (0..7)
+            .map(|i| Point2::new((i * 13 % 7) as f64, (i * 29 % 5) as f64))
+            .collect();
+        let m = DistMatrix::from_points(&pts);
+        let mut tour = nearest_neighbor_tour(&m, 0);
+        or_opt(&m, &mut tour);
+        assert_eq!(tour[0], 0);
+    }
+
+    #[test]
+    fn tiny_tours_are_untouched() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let m = DistMatrix::from_points(&pts);
+        let mut tour = vec![0, 2, 1];
+        or_opt(&m, &mut tour);
+        assert_eq!(tour, vec![0, 2, 1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_or_opt_never_worsens_and_preserves_nodes(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 4..14)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let m = DistMatrix::from_points(&pts);
+            let mut tour = nearest_neighbor_tour(&m, 0);
+            let before = tour_cost(&m, &tour);
+            or_opt(&m, &mut tour);
+            let after = tour_cost(&m, &tour);
+            prop_assert!(after <= before + 1e-9);
+            let mut sorted = tour.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..pts.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_stack_is_at_least_as_good_as_two_opt_alone(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 4..12)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let m = DistMatrix::from_points(&pts);
+            let mut nn2 = nearest_neighbor_tour(&m, 0);
+            two_opt(&m, &mut nn2);
+            let (_, stacked) = improve_tour(&m, 0);
+            prop_assert!(stacked <= tour_cost(&m, &nn2) + 1e-9);
+            // And never better than the optimum.
+            if pts.len() <= 10 {
+                let (_, opt) = held_karp_tour(&m);
+                prop_assert!(stacked >= opt - 1e-9);
+            }
+        }
+    }
+}

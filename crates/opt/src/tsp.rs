@@ -1,0 +1,245 @@
+//! TSP solvers: nearest-neighbour (the paper's intra-cluster heuristic,
+//! §IV-C), 2-opt improvement, and exact Held-Karp for small instances.
+
+use crate::DistMatrix;
+
+/// Cost of the closed tour visiting `tour` in order and returning to
+/// `tour\[0\]`.
+pub fn tour_cost(dist: &DistMatrix, tour: &[usize]) -> f64 {
+    if tour.len() < 2 {
+        return 0.0;
+    }
+    let mut cost = 0.0;
+    for w in tour.windows(2) {
+        cost += dist.get(w[0], w[1]);
+    }
+    cost + dist.get(tour[tour.len() - 1], tour[0])
+}
+
+/// Nearest-neighbour construction starting from `start`: repeatedly visit
+/// the closest unvisited node. O(n²), the complexity the paper cites \[24\].
+///
+/// Returns the visit order (a permutation of `0..dist.len()` beginning with
+/// `start`).
+///
+/// # Panics
+/// Panics if `start` is out of bounds.
+pub fn nearest_neighbor_tour(dist: &DistMatrix, start: usize) -> Vec<usize> {
+    let n = dist.len();
+    assert!(start < n, "start {start} out of bounds for {n} nodes");
+    let mut tour = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut cur = start;
+    visited[cur] = true;
+    tour.push(cur);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&j| !visited[j])
+            .min_by(|&a, &b| dist.get(cur, a).total_cmp(&dist.get(cur, b)))
+            .expect("unvisited node must exist");
+        visited[next] = true;
+        tour.push(next);
+        cur = next;
+    }
+    tour
+}
+
+/// 2-opt local search on a closed tour: repeatedly reverses segments while
+/// that shortens the tour. Keeps `tour\[0\]` fixed (the depot). Terminates at
+/// a local optimum; never returns a longer tour than the input.
+pub fn two_opt(dist: &DistMatrix, tour: &mut [usize]) {
+    let n = tour.len();
+    if n < 4 {
+        return;
+    }
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 2 {
+            for j in i + 2..n {
+                // Edges (i, i+1) and (j, j+1 mod n); skip the wrap pair that
+                // shares a node with (0, 1).
+                let jn = (j + 1) % n;
+                if jn == i {
+                    continue;
+                }
+                let a = tour[i];
+                let b = tour[i + 1];
+                let c = tour[j];
+                let d = tour[jn];
+                let delta = dist.get(a, c) + dist.get(b, d) - dist.get(a, b) - dist.get(c, d);
+                if delta < -1e-12 {
+                    tour[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+}
+
+/// Exact Held-Karp dynamic program for the minimum closed tour over all
+/// nodes, anchored at node 0. O(n²·2ⁿ) time / O(n·2ⁿ) space — only for
+/// small instances (the property tests and benches cap n at ~14).
+///
+/// Returns `(tour, cost)` with `tour\[0\] == 0`.
+///
+/// # Panics
+/// Panics for `n > 20` (the table would exceed memory) and for `n == 0`.
+pub fn held_karp_tour(dist: &DistMatrix) -> (Vec<usize>, f64) {
+    let n = dist.len();
+    assert!(n > 0, "held_karp requires at least one node");
+    assert!(n <= 20, "held_karp limited to 20 nodes, got {n}");
+    if n == 1 {
+        return (vec![0], 0.0);
+    }
+    let full = 1usize << (n - 1); // masks over nodes 1..n
+                                  // dp[mask][last] = min cost path 0 → … → last visiting exactly
+                                  // {nodes in mask} (mask bits index nodes 1..n, last ∈ mask).
+    let mut dp = vec![f64::INFINITY; full * (n - 1)];
+    let mut parent = vec![usize::MAX; full * (n - 1)];
+    for last in 0..n - 1 {
+        dp[(1 << last) * (n - 1) + last] = dist.get(0, last + 1);
+    }
+    for mask in 1..full {
+        for last in 0..n - 1 {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cur = dp[mask * (n - 1) + last];
+            if !cur.is_finite() {
+                continue;
+            }
+            let rest = (!mask) & (full - 1);
+            let mut bits = rest;
+            while bits != 0 {
+                let nxt = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let nmask = mask | (1 << nxt);
+                let cand = cur + dist.get(last + 1, nxt + 1);
+                let slot = nmask * (n - 1) + nxt;
+                if cand < dp[slot] {
+                    dp[slot] = cand;
+                    parent[slot] = last;
+                }
+            }
+        }
+    }
+    let final_mask = full - 1;
+    let (mut best_last, mut best_cost) = (0, f64::INFINITY);
+    for last in 0..n - 1 {
+        let c = dp[final_mask * (n - 1) + last] + dist.get(last + 1, 0);
+        if c < best_cost {
+            best_cost = c;
+            best_last = last;
+        }
+    }
+    // Reconstruct.
+    let mut tour = Vec::with_capacity(n);
+    let mut mask = final_mask;
+    let mut last = best_last;
+    while mask != 0 {
+        tour.push(last + 1);
+        let p = parent[mask * (n - 1) + last];
+        mask &= !(1 << last);
+        last = p;
+    }
+    tour.push(0);
+    tour.reverse();
+    (tour, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wrsn_geom::Point2;
+
+    fn square() -> DistMatrix {
+        DistMatrix::from_points(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn tour_cost_of_square() {
+        let m = square();
+        assert!((tour_cost(&m, &[0, 1, 2, 3]) - 4.0).abs() < 1e-12);
+        // Crossing diagonal tour is longer.
+        assert!(tour_cost(&m, &[0, 2, 1, 3]) > 4.0);
+        assert_eq!(tour_cost(&m, &[0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_neighbor_visits_everything_once() {
+        let m = square();
+        let t = nearest_neighbor_tour(&m, 2);
+        assert_eq!(t[0], 2);
+        let mut sorted = t.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_opt_fixes_crossing() {
+        let m = square();
+        let mut t = vec![0, 2, 1, 3]; // crossing tour
+        two_opt(&m, &mut t);
+        assert!((tour_cost(&m, &t) - 4.0).abs() < 1e-12);
+        assert_eq!(t[0], 0);
+    }
+
+    #[test]
+    fn held_karp_square_is_perimeter() {
+        let (t, c) = held_karp_tour(&square());
+        assert!((c - 4.0).abs() < 1e-12);
+        assert_eq!(t[0], 0);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn held_karp_trivial_sizes() {
+        let one = DistMatrix::from_points(&[Point2::ORIGIN]);
+        assert_eq!(held_karp_tour(&one), (vec![0], 0.0));
+        let two = DistMatrix::from_points(&[Point2::ORIGIN, Point2::new(3.0, 4.0)]);
+        let (t, c) = held_karp_tour(&two);
+        assert_eq!(t, vec![0, 1]);
+        assert!((c - 10.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_two_opt_never_worsens(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 4..12)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let m = DistMatrix::from_points(&pts);
+            let mut t = nearest_neighbor_tour(&m, 0);
+            let before = tour_cost(&m, &t);
+            two_opt(&m, &mut t);
+            let after = tour_cost(&m, &t);
+            prop_assert!(after <= before + 1e-9);
+            let mut sorted = t.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..pts.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_held_karp_lower_bounds_heuristics(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..9)
+        ) {
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let m = DistMatrix::from_points(&pts);
+            let (ht, hc) = held_karp_tour(&m);
+            prop_assert!((tour_cost(&m, &ht) - hc).abs() < 1e-6, "reported cost matches tour");
+            let mut nn = nearest_neighbor_tour(&m, 0);
+            prop_assert!(hc <= tour_cost(&m, &nn) + 1e-9);
+            two_opt(&m, &mut nn);
+            prop_assert!(hc <= tour_cost(&m, &nn) + 1e-9);
+        }
+    }
+}

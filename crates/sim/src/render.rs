@@ -1,0 +1,140 @@
+//! ASCII rendering of the field — a terminal view for demos, debugging
+//! and the CLI's `watch` command.
+
+use crate::World;
+use wrsn_core::SensorId;
+
+/// Glyph precedence, most interesting last (later overwrites earlier):
+/// `.` healthy sensor, `o` below the recharge threshold, `x` depleted,
+/// `#` actively monitoring, `T` target, `0`–`9` RVs, `B` base station.
+pub fn render_field(world: &World, cols: usize) -> String {
+    let cols = cols.clamp(16, 200);
+    let cfg = world.config();
+    let side = cfg.field_side;
+    // Terminal cells are ~2× taller than wide; halve the rows to keep the
+    // field visually square.
+    let rows = (cols / 2).max(8);
+    let mut grid = vec![vec![' '; cols]; rows];
+
+    let cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x / side) * cols as f64)
+            .floor()
+            .clamp(0.0, cols as f64 - 1.0) as usize;
+        let cy = ((y / side) * rows as f64)
+            .floor()
+            .clamp(0.0, rows as f64 - 1.0) as usize;
+        // Screen y grows downward; field y grows upward.
+        (rows - 1 - cy, cx)
+    };
+
+    let thr = cfg.recharge_threshold_frac;
+    for (i, p) in world.sensor_positions().iter().enumerate() {
+        let id = SensorId(i as u32);
+        let battery = world.battery(id);
+        let glyph = if world.is_active(id) {
+            '#'
+        } else if battery.is_depleted() {
+            'x'
+        } else if battery.soc() < thr {
+            'o'
+        } else {
+            '.'
+        };
+        let (r, c) = cell(p.x, p.y);
+        // Precedence: never let a plain sensor glyph overwrite a more
+        // interesting one already in the cell.
+        let rank = |g: char| match g {
+            ' ' => 0,
+            '.' => 1,
+            'o' => 2,
+            'x' => 3,
+            '#' => 4,
+            'T' => 5,
+            '0'..='9' => 6,
+            'B' => 7,
+            _ => 0,
+        };
+        if rank(glyph) > rank(grid[r][c]) {
+            grid[r][c] = glyph;
+        }
+    }
+    for t in world.targets() {
+        let (r, c) = cell(t.x, t.y);
+        if grid[r][c] != 'B' {
+            grid[r][c] = 'T';
+        }
+    }
+    for (i, rv) in world.rvs().iter().enumerate() {
+        let (r, c) = cell(rv.pos.x, rv.pos.y);
+        grid[r][c] = char::from_digit((i % 10) as u32, 10).unwrap_or('?');
+    }
+    {
+        let center = side / 2.0;
+        let (r, c) = cell(center, center);
+        grid[r][c] = 'B';
+    }
+
+    let mut out = String::with_capacity((cols + 3) * (rows + 4));
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    out.push_str(&format!(
+        "t = {:7.2} days | alive {:3}/{} | coverage {:5.1} % | B base, T target, 0-9 RVs, # monitoring, . ok, o low, x dead\n",
+        world.time() / 86_400.0,
+        world.alive_count(),
+        cfg.num_sensors,
+        world.coverage_ratio() * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    #[test]
+    fn render_contains_all_entity_kinds() {
+        let mut cfg = SimConfig::small(1.0);
+        cfg.num_sensors = 60;
+        cfg.num_targets = 3;
+        let world = World::new(&cfg, 4);
+        let s = render_field(&world, 60);
+        assert!(s.contains('B'), "base station missing");
+        assert!(s.contains('0'), "RV missing");
+        assert!(s.contains('.'), "sensors missing");
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn render_width_is_respected() {
+        let cfg = SimConfig::small(1.0);
+        let world = World::new(&cfg, 1);
+        let s = render_field(&world, 40);
+        let border = s.lines().next().unwrap();
+        assert_eq!(border.len(), 42); // + ... +
+                                      // Every grid line has identical width.
+        assert!(s
+            .lines()
+            .take_while(|l| l.starts_with('+') || l.starts_with('|'))
+            .all(|l| l.len() == 42));
+    }
+
+    #[test]
+    fn extreme_widths_are_clamped() {
+        let cfg = SimConfig::small(1.0);
+        let world = World::new(&cfg, 1);
+        let tiny = render_field(&world, 1);
+        assert!(tiny.lines().next().unwrap().len() >= 18);
+        let huge = render_field(&world, 10_000);
+        assert!(huge.lines().next().unwrap().len() <= 202);
+    }
+}

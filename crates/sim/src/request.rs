@@ -1,0 +1,149 @@
+//! The base station's recharge node list `R` with ERC gating.
+
+use wrsn_core::SensorId;
+
+/// Per-sensor request lifecycle:
+///
+/// ```text
+/// (above threshold) → Pending (below threshold, withheld by ERC)
+///                   → Released (in the recharge node list R)
+///                   → Assigned (claimed by a planned RV route)
+///                   → served / recovered → (above threshold)
+/// ```
+///
+/// The board tracks the three boolean stages; §III-B's ERP decides when
+/// `Pending` cluster members transition to `Released`.
+#[derive(Debug, Clone)]
+pub struct RequestBoard {
+    pending: Vec<bool>,
+    released: Vec<bool>,
+    assigned: Vec<bool>,
+    released_at: Vec<f64>,
+}
+
+impl RequestBoard {
+    /// Empty board for `n` sensors.
+    pub fn new(n: usize) -> Self {
+        Self {
+            pending: vec![false; n],
+            released: vec![false; n],
+            assigned: vec![false; n],
+            released_at: vec![f64::NAN; n],
+        }
+    }
+
+    /// Marks a sensor below-threshold (withheld until released).
+    pub fn mark_pending(&mut self, s: SensorId) {
+        self.pending[s.index()] = true;
+    }
+
+    /// Moves a sensor's request into the recharge node list at time `t`
+    /// (idempotent: re-releasing keeps the original timestamp).
+    pub fn release(&mut self, s: SensorId, t: f64) {
+        self.pending[s.index()] = true;
+        if !self.released[s.index()] {
+            self.released[s.index()] = true;
+            self.released_at[s.index()] = t;
+        }
+    }
+
+    /// When sensor `s`'s request entered the recharge node list (NaN when
+    /// it is not released).
+    pub fn released_time(&self, s: SensorId) -> f64 {
+        self.released_at[s.index()]
+    }
+
+    /// Marks a released request as claimed by an RV route.
+    ///
+    /// # Panics
+    /// Panics (debug) when assigning a request that was never released.
+    pub fn assign(&mut self, s: SensorId) {
+        debug_assert!(self.released[s.index()], "assigning unreleased request {s}");
+        self.assigned[s.index()] = true;
+    }
+
+    /// Returns an assigned request to the released pool (its RV abandoned
+    /// the route, e.g. it ran out of energy mid-tour).
+    pub fn unassign(&mut self, s: SensorId) {
+        self.assigned[s.index()] = false;
+    }
+
+    /// Clears every stage for a sensor — called when it is recharged above
+    /// the threshold (served or topped up enough).
+    pub fn clear(&mut self, s: SensorId) {
+        self.pending[s.index()] = false;
+        self.released[s.index()] = false;
+        self.assigned[s.index()] = false;
+        self.released_at[s.index()] = f64::NAN;
+    }
+
+    /// Below threshold but not yet in `R`.
+    pub fn is_pending(&self, s: SensorId) -> bool {
+        self.pending[s.index()] && !self.released[s.index()]
+    }
+
+    /// In the recharge node list (released, whether or not assigned).
+    pub fn is_released(&self, s: SensorId) -> bool {
+        self.released[s.index()]
+    }
+
+    /// Released and not yet claimed by any route.
+    pub fn is_unassigned(&self, s: SensorId) -> bool {
+        self.released[s.index()] && !self.assigned[s.index()]
+    }
+
+    /// Sensors currently awaiting scheduling.
+    pub fn unassigned(&self) -> impl Iterator<Item = SensorId> + '_ {
+        (0..self.released.len())
+            .filter(|&i| self.released[i] && !self.assigned[i])
+            .map(SensorId::from)
+    }
+
+    /// Number of sensors in the recharge node list.
+    pub fn released_count(&self) -> usize {
+        self.released.iter().filter(|&&r| r).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut b = RequestBoard::new(3);
+        let s = SensorId(1);
+        assert!(!b.is_pending(s));
+        b.mark_pending(s);
+        assert!(b.is_pending(s));
+        assert!(!b.is_released(s));
+        b.release(s, 5.0);
+        assert!(b.is_released(s));
+        assert!(b.is_unassigned(s));
+        b.assign(s);
+        assert!(!b.is_unassigned(s));
+        assert!(b.is_released(s));
+        b.clear(s);
+        assert!(!b.is_released(s) && !b.is_pending(s));
+    }
+
+    #[test]
+    fn unassign_returns_to_pool() {
+        let mut b = RequestBoard::new(2);
+        b.release(SensorId(0), 1.0);
+        b.assign(SensorId(0));
+        assert_eq!(b.unassigned().count(), 0);
+        b.unassign(SensorId(0));
+        assert_eq!(b.unassigned().collect::<Vec<_>>(), vec![SensorId(0)]);
+    }
+
+    #[test]
+    fn counts() {
+        let mut b = RequestBoard::new(4);
+        b.release(SensorId(0), 1.0);
+        b.release(SensorId(2), 1.0);
+        b.mark_pending(SensorId(3));
+        assert_eq!(b.released_count(), 2);
+        assert_eq!(b.unassigned().count(), 2);
+    }
+}

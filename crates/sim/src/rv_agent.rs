@@ -1,0 +1,153 @@
+//! Recharging-vehicle agent state.
+
+use std::collections::VecDeque;
+use wrsn_core::{RvId, SensorId};
+use wrsn_energy::{Battery, ChargeModel};
+use wrsn_geom::Point2;
+
+/// What an RV is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RvPhase {
+    /// Waiting for a route (wherever it is).
+    Idle,
+    /// Driving to the next stop of its route.
+    ToStop(SensorId),
+    /// Parked next to a sensor, transferring energy.
+    Charging(SensorId),
+    /// Driving back to the base station.
+    ToBase,
+    /// Parked at the base station, replenishing its own battery.
+    SelfCharging,
+}
+
+/// One recharging vehicle: position, battery, current route and phase.
+///
+/// The world owns the behaviour (movement/charging happen in
+/// `World::step`); the agent only holds state plus small pure helpers, so
+/// the scheduler and tests can introspect it freely.
+#[derive(Debug, Clone)]
+pub struct RvAgent {
+    /// Vehicle id.
+    pub id: RvId,
+    /// Current position.
+    pub pos: Point2,
+    /// The RV's own battery (`C_r`).
+    pub battery: Battery,
+    /// Remaining stops of the active route, front = next.
+    pub route: VecDeque<SensorId>,
+    /// Current phase.
+    pub phase: RvPhase,
+    /// Odometer (m), for per-RV diagnostics.
+    pub distance_traveled_m: f64,
+    /// Cumulative seconds spent per duty: `[idle, traveling, charging,
+    /// self-charging]` — the fleet-economics breakdown.
+    pub phase_time_s: [f64; 4],
+}
+
+impl RvAgent {
+    /// New RV parked at `pos` with a full battery of `capacity_j`.
+    ///
+    /// The RV battery uses the ideal (constant-power) charge model — it is
+    /// a vehicle pack charged by the base station's high-power dock, not a
+    /// trickle-charged Ni-MH cell.
+    pub fn new(id: RvId, pos: Point2, capacity_j: f64) -> Self {
+        Self {
+            id,
+            pos,
+            battery: Battery::full(capacity_j).with_charge_model(ChargeModel::ideal()),
+            route: VecDeque::new(),
+            phase: RvPhase::Idle,
+            distance_traveled_m: 0.0,
+            phase_time_s: [0.0; 4],
+        }
+    }
+
+    /// Fraction of accounted time spent charging sensors (the fleet's
+    /// useful-work ratio). 0 before any time is accounted.
+    pub fn charging_utilization(&self) -> f64 {
+        let total: f64 = self.phase_time_s.iter().sum();
+        if total > 0.0 {
+            self.phase_time_s[2] / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the RV can accept a new route: idle with no pending stops.
+    pub fn is_plannable(&self) -> bool {
+        self.phase == RvPhase::Idle && self.route.is_empty()
+    }
+
+    /// Energy budget a planner may spend on this RV (demand + travel),
+    /// keeping `reserve_j` in the tank for the trip home.
+    pub fn plannable_energy(&self, reserve_j: f64) -> f64 {
+        (self.battery.level() - reserve_j).max(0.0)
+    }
+
+    /// Whether the battery has fallen below the return threshold.
+    pub fn needs_base(&self, low_frac: f64) -> bool {
+        self.battery.soc() < low_frac
+    }
+
+    /// Loads a new route and aims at its first stop.
+    pub fn accept_route(&mut self, stops: impl IntoIterator<Item = SensorId>) {
+        debug_assert!(self.is_plannable(), "route pushed onto a busy RV");
+        self.route = stops.into_iter().collect();
+        if let Some(&first) = self.route.front() {
+            self.phase = RvPhase::ToStop(first);
+        }
+    }
+
+    /// Drops all remaining stops (route abandoned), returning them.
+    pub fn abandon_route(&mut self) -> Vec<SensorId> {
+        let dropped: Vec<SensorId> = self.route.drain(..).collect();
+        self.phase = RvPhase::Idle;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rv_is_plannable() {
+        let rv = RvAgent::new(RvId(0), Point2::new(1.0, 2.0), 1e6);
+        assert!(rv.is_plannable());
+        assert_eq!(rv.phase, RvPhase::Idle);
+        assert!(rv.battery.is_full());
+    }
+
+    #[test]
+    fn plannable_energy_keeps_reserve() {
+        let rv = RvAgent::new(RvId(0), Point2::ORIGIN, 1_000.0);
+        assert_eq!(rv.plannable_energy(100.0), 900.0);
+        assert_eq!(rv.plannable_energy(2_000.0), 0.0);
+    }
+
+    #[test]
+    fn accept_route_targets_first_stop() {
+        let mut rv = RvAgent::new(RvId(0), Point2::ORIGIN, 1e6);
+        rv.accept_route([SensorId(5), SensorId(9)]);
+        assert_eq!(rv.phase, RvPhase::ToStop(SensorId(5)));
+        assert_eq!(rv.route.len(), 2);
+        assert!(!rv.is_plannable());
+    }
+
+    #[test]
+    fn abandon_returns_stops() {
+        let mut rv = RvAgent::new(RvId(0), Point2::ORIGIN, 1e6);
+        rv.accept_route([SensorId(1), SensorId(2)]);
+        let dropped = rv.abandon_route();
+        assert_eq!(dropped, vec![SensorId(1), SensorId(2)]);
+        assert!(rv.is_plannable());
+    }
+
+    #[test]
+    fn needs_base_threshold() {
+        let mut rv = RvAgent::new(RvId(0), Point2::ORIGIN, 1_000.0);
+        assert!(!rv.needs_base(0.1));
+        rv.battery.draw(950.0);
+        assert!(rv.needs_base(0.1));
+    }
+}

@@ -1,0 +1,211 @@
+//! Optional event trace: a bounded log of the discrete events a run emits,
+//! for debugging, visualization and replay-style assertions.
+
+use wrsn_core::{RvId, SensorId};
+
+/// One traced event. Times are simulation seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The planner assigned a route.
+    Dispatch {
+        /// Time of the assignment.
+        t: f64,
+        /// Vehicle receiving the route.
+        rv: RvId,
+        /// Number of stops in the route.
+        stops: usize,
+        /// Total demand (J) the route is expected to serve.
+        demand_j: f64,
+    },
+    /// An RV finished charging one sensor.
+    ServiceDone {
+        /// Completion time.
+        t: f64,
+        /// The serving vehicle.
+        rv: RvId,
+        /// The recharged sensor.
+        sensor: SensorId,
+    },
+    /// A sensor's battery reached zero.
+    SensorDepleted {
+        /// Time of depletion.
+        t: f64,
+        /// The sensor.
+        sensor: SensorId,
+    },
+    /// A depleted sensor came back above zero thanks to an RV.
+    SensorRevived {
+        /// Time of revival.
+        t: f64,
+        /// The sensor.
+        sensor: SensorId,
+    },
+    /// Target relocations forced a cluster rebuild.
+    ClustersRebuilt {
+        /// Time of the rebuild.
+        t: f64,
+        /// Number of clusters formed.
+        clusters: usize,
+    },
+    /// A permanent hardware failure (failure-injection experiments).
+    SensorFailed {
+        /// Time of the fault.
+        t: f64,
+        /// The sensor.
+        sensor: SensorId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Dispatch { t, .. }
+            | TraceEvent::ServiceDone { t, .. }
+            | TraceEvent::SensorDepleted { t, .. }
+            | TraceEvent::SensorRevived { t, .. }
+            | TraceEvent::ClustersRebuilt { t, .. }
+            | TraceEvent::SensorFailed { t, .. } => t,
+        }
+    }
+
+    /// One CSV row: `time,kind,subject,detail1,detail2`.
+    pub fn to_csv_row(&self) -> String {
+        match *self {
+            TraceEvent::Dispatch {
+                t,
+                rv,
+                stops,
+                demand_j,
+            } => {
+                format!("{t},dispatch,{rv},{stops},{demand_j}")
+            }
+            TraceEvent::ServiceDone { t, rv, sensor } => {
+                format!("{t},service,{rv},{sensor},")
+            }
+            TraceEvent::SensorDepleted { t, sensor } => format!("{t},depleted,{sensor},,"),
+            TraceEvent::SensorRevived { t, sensor } => format!("{t},revived,{sensor},,"),
+            TraceEvent::ClustersRebuilt { t, clusters } => format!("{t},clusters,{clusters},,"),
+            TraceEvent::SensorFailed { t, sensor } => format!("{t},failed,{sensor},,"),
+        }
+    }
+}
+
+/// Bounded, optionally-enabled event log. Disabled traces cost one branch
+/// per event site; enabled traces drop the oldest events beyond `cap`.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace (the default inside [`crate::World`]).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace that retains at most `cap` events (oldest dropped).
+    pub fn enabled(cap: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            enabled: true,
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` when enabled.
+    pub fn push(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were evicted by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events as CSV (with header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,kind,subject,detail1,detail2\n");
+        for e in &self.events {
+            out.push_str(&e.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceEvent::SensorDepleted {
+            t: 1.0,
+            sensor: SensorId(0),
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn cap_evicts_oldest() {
+        let mut t = Trace::enabled(2);
+        for i in 0..4 {
+            t.push(TraceEvent::SensorDepleted {
+                t: i as f64,
+                sensor: SensorId(i),
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events()[0].time(), 2.0);
+    }
+
+    #[test]
+    fn csv_rows_have_five_fields() {
+        let mut t = Trace::enabled(16);
+        t.push(TraceEvent::Dispatch {
+            t: 0.0,
+            rv: RvId(1),
+            stops: 3,
+            demand_j: 100.0,
+        });
+        t.push(TraceEvent::ServiceDone {
+            t: 5.0,
+            rv: RvId(1),
+            sensor: SensorId(9),
+        });
+        t.push(TraceEvent::ClustersRebuilt {
+            t: 6.0,
+            clusters: 4,
+        });
+        let csv = t.to_csv();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 5, "bad row: {line}");
+        }
+        assert!(csv.contains("dispatch,rv1,3,100"));
+    }
+}

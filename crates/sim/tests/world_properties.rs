@@ -1,0 +1,80 @@
+//! Property-based tests over the whole engine: random small configurations
+//! must preserve the energy-ledger and metric-range invariants, whatever
+//! the scheduler, activity mode or failure rate.
+
+use proptest::prelude::*;
+use wrsn_core::SchedulerKind;
+use wrsn_sim::{ActivityConfig, SimConfig, World};
+
+fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Greedy),
+        Just(SchedulerKind::Insertion),
+        Just(SchedulerKind::Partition),
+        Just(SchedulerKind::Combined),
+        Just(SchedulerKind::Savings),
+        Just(SchedulerKind::Deadline),
+    ]
+}
+
+prop_compose! {
+    fn arb_config()(
+        sensors in 20usize..80,
+        targets in 0usize..6,
+        rvs in 1usize..4,
+        field in 40.0f64..120.0,
+        scheduler in arb_scheduler(),
+        round_robin in proptest::bool::ANY,
+        erp in proptest::option::of(0.0f64..=1.0),
+        soc_lo in 0.2f64..0.7,
+        failures in prop_oneof![Just(0.0), Just(0.05)],
+    ) -> SimConfig {
+        let mut cfg = SimConfig::small(1.0); // 1 simulated day keeps it fast
+        cfg.num_sensors = sensors;
+        cfg.num_targets = targets;
+        cfg.num_rvs = rvs;
+        cfg.field_side = field;
+        cfg.scheduler = scheduler;
+        cfg.activity = ActivityConfig { round_robin, erp };
+        cfg.initial_soc = (soc_lo, 1.0);
+        cfg.permanent_failures_per_day = failures;
+        cfg.min_batch_demand_j = 10e3;
+        cfg
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_invariants_hold_on_random_configs(cfg in arb_config(), seed in 0u64..1_000) {
+        let out = World::new(&cfg, seed).run();
+
+        // Ledger consistency.
+        prop_assert!((out.report.recharged_mj * 1e6 - out.total_delivered_j).abs() < 1e-6);
+        prop_assert!(out.rv_energy_shortfall_j < 1.0,
+            "shortfall {}", out.rv_energy_shortfall_j);
+        prop_assert!(out.total_drained_j >= 0.0);
+
+        // Metric ranges.
+        let r = &out.report;
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&r.coverage_ratio_pct));
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&r.nonfunctional_pct));
+        prop_assert!((r.coverage_ratio_pct + r.missing_rate_pct - 100.0).abs() < 1e-6);
+        prop_assert!(r.travel_distance_m >= 0.0);
+        prop_assert!(r.recharged_mj >= 0.0);
+        prop_assert!(out.final_alive <= cfg.num_sensors);
+
+        // Objective definition.
+        prop_assert!((r.objective_mj - (r.recharged_mj - r.travel_energy_mj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_on_random_configs(cfg in arb_config(), seed in 0u64..1_000) {
+        let a = World::new(&cfg, seed).run();
+        let b = World::new(&cfg, seed).run();
+        prop_assert_eq!(a.report, b.report);
+        prop_assert_eq!(a.deaths, b.deaths);
+        prop_assert_eq!(a.permanent_failures, b.permanent_failures);
+    }
+}

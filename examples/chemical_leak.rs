@@ -1,0 +1,51 @@
+//! Chemical-leak surveillance — the paper's other §II application: leaks of
+//! harmful chemicals appear at unpredictable spots and must be detected and
+//! tracked until contained. Leaks are short-lived and frequent, so clusters
+//! reform often and the recharge scheduler is under pressure.
+//!
+//! The example pits the greedy baseline (Algorithm 2) against the
+//! single-RV insertion scheduler (Algorithm 3) with one RV — the §IV-C
+//! comparison — on identical leak sequences.
+//!
+//! ```sh
+//! cargo run --release --example chemical_leak
+//! ```
+
+use wrsn::core::SchedulerKind;
+use wrsn::sim::{SimConfig, World};
+
+fn scenario(scheduler: SchedulerKind) -> wrsn::sim::SimOutcome {
+    let mut cfg = SimConfig::small(6.0);
+    cfg.num_rvs = 1; // a single recharging vehicle patrols the plant
+    cfg.num_targets = 10; // many simultaneous leak sites
+    cfg.target_period_s = 1.5 * 3600.0; // leaks contained in ~90 min
+    cfg.scheduler = scheduler;
+    World::new(&cfg, 99).run()
+}
+
+fn main() {
+    println!("Industrial site: 125 sensors, 10 concurrent leak sites, one RV, 6 days…\n");
+
+    let greedy = scenario(SchedulerKind::Greedy);
+    let insertion = scenario(SchedulerKind::Insertion);
+
+    for (name, o) in [
+        ("Greedy (Alg. 2)", &greedy),
+        ("Insertion (Alg. 3)", &insertion),
+    ] {
+        println!(
+            "{name:<20} travel {:>8.0} m ({:>7.4} MJ) | services {:>4} | coverage {:>6.2} %",
+            o.report.travel_distance_m,
+            o.report.travel_energy_mj,
+            o.report.recharge_visits,
+            o.report.coverage_ratio_pct,
+        );
+    }
+
+    let saving =
+        100.0 * (1.0 - insertion.report.travel_distance_m / greedy.report.travel_distance_m);
+    println!(
+        "\nAlgorithm 3's en-route insertions cut the RV's travel distance by {saving:.1} % \
+         on the same leak workload."
+    );
+}

@@ -1,0 +1,74 @@
+//! Deployment planning: size a WRSN before buying hardware.
+//!
+//! Walks the back-of-envelope workflow an operator would follow —
+//! Eq. (1) for the sensor count, the closed-form energy analysis for
+//! drain/fleet feasibility, then a short simulation to confirm — all with
+//! the library's public API.
+//!
+//! ```sh
+//! cargo run --release --example deployment_planning
+//! ```
+
+use wrsn::core::DeploymentAnalysis;
+use wrsn::geom::min_sensors_for_coverage;
+use wrsn::sim::{SimConfig, World};
+
+fn main() {
+    // The deployment under consideration: a 150 m × 150 m site, 10 moving
+    // targets to track, sensing radius 8 m.
+    let side = 150.0;
+    let targets = 10usize;
+    let n_min = min_sensors_for_coverage(side * side, 8.0);
+    let n = (n_min as f64 * 1.1).round() as usize; // 10 % margin
+    println!("site {side:.0} m × {side:.0} m, {targets} targets");
+    println!("Eq. (1) minimum sensors: {n_min}; deploying {n} (+10 % margin)\n");
+
+    // Closed-form feasibility for 1..4 RVs.
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.field_side = side;
+    cfg.num_sensors = n;
+    cfg.num_targets = targets;
+    let mut chosen_rvs = None;
+    for rvs in 1..=4usize {
+        let analysis = DeploymentAnalysis {
+            num_sensors: n,
+            expected_monitors: targets as f64, // round-robin: one per target
+            watch_duty: cfg.watch_duty,
+            profile: cfg.sensor_profile,
+            battery_j: cfg.battery_capacity_j,
+            threshold: cfg.recharge_threshold_frac,
+            rv: cfg.rv_model,
+            num_rvs: rvs,
+        };
+        let ok = analysis.is_sustainable(0.7);
+        println!(
+            "{rvs} RV(s): drain {:.2} W vs capacity {:.1} W ({:.0} requests/day, {:.0} min/service) → {}",
+            analysis.network_drain_w(),
+            analysis.fleet_capacity_w(),
+            analysis.requests_per_day(),
+            analysis.service_time_s() / 60.0,
+            if ok { "sustainable" } else { "NOT sustainable" }
+        );
+        if ok && chosen_rvs.is_none() {
+            chosen_rvs = Some(rvs);
+        }
+    }
+    let rvs = chosen_rvs.expect("some fleet size must work");
+    println!("\nchoosing {rvs} RV(s); confirming with a 20-day simulation…");
+
+    cfg.num_rvs = rvs;
+    cfg.duration_s = 20.0 * 86_400.0;
+    cfg.duration_days = 20.0;
+    let out = World::new(&cfg, 11).run();
+    println!(
+        "confirmed: coverage {:.2} %, nonfunctional {:.2} %, travel {:.3} MJ, recharged {:.3} MJ",
+        out.report.coverage_ratio_pct,
+        out.report.nonfunctional_pct,
+        out.report.travel_energy_mj,
+        out.report.recharged_mj
+    );
+    assert!(
+        out.report.nonfunctional_pct < 5.0,
+        "the plan should hold up in simulation"
+    );
+}

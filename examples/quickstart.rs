@@ -1,0 +1,42 @@
+//! Quickstart: build a network, run two simulated days, read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wrsn::core::SchedulerKind;
+use wrsn::geom::min_sensors_for_coverage;
+use wrsn::sim::{SimConfig, World};
+
+fn main() {
+    // The paper sizes its deployment with Eq. (1): minimum sensors for
+    // full coverage of a 200 m × 200 m field with an 8 m sensing range.
+    let n_min = min_sensors_for_coverage(200.0 * 200.0, 8.0);
+    println!("Eq. (1) minimal sensor count for the paper's field: {n_min} (paper deploys 500)");
+
+    // A scaled-down network so the example finishes in about a second.
+    let mut cfg = SimConfig::small(2.0);
+    cfg.scheduler = SchedulerKind::Combined;
+    println!(
+        "Simulating {} sensors / {} targets / {} RVs for {} days ({})...",
+        cfg.num_sensors, cfg.num_targets, cfg.num_rvs, cfg.duration_days, cfg.scheduler
+    );
+
+    let outcome = World::new(&cfg, 42).run();
+    let r = &outcome.report;
+    println!("── outcome ─────────────────────────────────────");
+    println!("RV travel distance   : {:>10.0} m", r.travel_distance_m);
+    println!("RV traveling energy  : {:>10.4} MJ", r.travel_energy_mj);
+    println!(
+        "energy recharged     : {:>10.4} MJ over {} services",
+        r.recharged_mj, r.recharge_visits
+    );
+    println!("objective (Eq. 2)    : {:>10.4} MJ", r.objective_mj);
+    println!("avg coverage ratio   : {:>10.2} %", r.coverage_ratio_pct);
+    println!("nonfunctional sensors: {:>10.2} %", r.nonfunctional_pct);
+    println!(
+        "recharging cost      : {:>10.1} m/sensor",
+        r.recharging_cost_m_per_sensor
+    );
+    println!("sensors alive at end : {:>10}", outcome.final_alive);
+}

@@ -1,0 +1,58 @@
+//! Wildlife monitoring — the paper's motivating scenario (§I): rare
+//! animals roam a reserve and must be monitored continuously; sensors are
+//! dense, so redundant cluster members can sleep.
+//!
+//! This example compares the paper's full activity management (round-robin
+//! plus Energy Request Control) against the prior-work baseline (all
+//! cluster members awake, immediate requests) on the same animal
+//! trajectories, and reports how much recharging-vehicle travel energy the
+//! management saves — the Fig. 4 experiment at example scale.
+//!
+//! ```sh
+//! cargo run --release --example wildlife_monitoring
+//! ```
+
+use wrsn::core::SchedulerKind;
+use wrsn::sim::{ActivityConfig, SimConfig, World};
+
+fn scenario(activity: ActivityConfig) -> wrsn::sim::SimOutcome {
+    let mut cfg = SimConfig::small(12.0);
+    // Animals linger: a 6-hour dwell before moving on.
+    cfg.target_period_s = 6.0 * 3600.0;
+    cfg.num_targets = 8;
+    cfg.scheduler = SchedulerKind::Combined;
+    cfg.activity = activity;
+    // Small network ⇒ scale the dispatch batch down with it.
+    cfg.min_batch_demand_j = 20e3;
+    // Same seed ⇒ same deployment and same animal movements in both runs.
+    World::new(&cfg, 7).run()
+}
+
+fn main() {
+    println!("Tracking 8 animals over 12 days with 125 sensors and 2 RVs…\n");
+
+    let legacy = scenario(ActivityConfig::legacy());
+    let managed = scenario(ActivityConfig::managed(0.6));
+
+    let print = |name: &str, o: &wrsn::sim::SimOutcome| {
+        println!(
+            "{name:<28} travel {:>7.4} MJ | recharged {:>7.3} MJ | coverage {:>6.2} % | dead {:>5.2} %",
+            o.report.travel_energy_mj,
+            o.report.recharged_mj,
+            o.report.coverage_ratio_pct,
+            o.report.nonfunctional_pct,
+        );
+    };
+    print("prior work (full-time)", &legacy);
+    print("JRSSAM (RR + ERC, K=0.6)", &managed);
+
+    let saving = 100.0 * (1.0 - managed.report.travel_energy_mj / legacy.report.travel_energy_mj);
+    println!(
+        "\nActivity management saved {saving:.1} % of RV traveling energy \
+         while keeping the animals covered."
+    );
+    assert!(
+        managed.report.travel_energy_mj <= legacy.report.travel_energy_mj,
+        "managed activity should never travel more"
+    );
+}

@@ -1,0 +1,49 @@
+//! # wrsn — Joint Wireless Charging and Sensor Activity Management
+//!
+//! A full Rust implementation of the **JRSSAM** framework from
+//! *"Joint Wireless Charging and Sensor Activity Management in Wireless
+//! Rechargeable Sensor Networks"* (Gao, Wang, Yang — ICPP 2015), including
+//! every substrate its evaluation depends on.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`geom`] | `wrsn-geom` | 2-D geometry, random deployment, grid index, Eq. (1) |
+//! | [`energy`] | `wrsn-energy` | Ni-MH battery, CC2480 radio, PIR detector, RV energy |
+//! | [`net`] | `wrsn-net` | unit-disk comm graph, Dijkstra routing, relay traffic |
+//! | [`opt`] | `wrsn-opt` | K-means, TSP solvers, exact TSP-with-profits |
+//! | [`core`] | `wrsn-core` | Algorithm 1 clustering, ERP control, round-robin, Algorithms 2–3, Partition/Combined schemes |
+//! | [`sim`] | `wrsn-sim` | the §V discrete-time evaluation environment |
+//! | [`metrics`] | `wrsn-metrics` | the paper's evaluation metrics + reporting |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wrsn::sim::{SimConfig, World};
+//! use wrsn::core::SchedulerKind;
+//!
+//! // A scaled-down network: 2 simulated days, Combined-Scheme scheduling.
+//! let mut cfg = SimConfig::small(2.0);
+//! cfg.scheduler = SchedulerKind::Combined;
+//! let outcome = World::new(&cfg, 42).run();
+//! println!(
+//!     "RV travel: {:.3} MJ, coverage: {:.1}%",
+//!     outcome.report.travel_energy_mj, outcome.report.coverage_ratio_pct
+//! );
+//! assert!(outcome.report.coverage_ratio_pct > 50.0);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every figure of the paper's evaluation.
+
+pub use wrsn_core as core;
+pub use wrsn_energy as energy;
+pub use wrsn_geom as geom;
+pub use wrsn_metrics as metrics;
+pub use wrsn_net as net;
+pub use wrsn_opt as opt;
+pub use wrsn_sim as sim;
+
+/// Workspace version, for reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,67 @@
+//! Cross-validation: the closed-form deployment analysis
+//! (`wrsn_core::analysis`) must predict what the simulator measures.
+
+use wrsn::core::DeploymentAnalysis;
+use wrsn::sim::{SimConfig, World};
+
+fn analysis_of(cfg: &SimConfig) -> DeploymentAnalysis {
+    DeploymentAnalysis {
+        num_sensors: cfg.num_sensors,
+        // Round-robin: ≈ one monitor per coverable target. With 5 targets
+        // on a 100 m field and an 8 m radius, nearly all targets are
+        // coverable.
+        expected_monitors: cfg.num_targets as f64 * 0.9,
+        watch_duty: cfg.watch_duty,
+        profile: cfg.sensor_profile,
+        battery_j: cfg.battery_capacity_j,
+        threshold: cfg.recharge_threshold_frac,
+        rv: cfg.rv_model,
+        num_rvs: cfg.num_rvs,
+    }
+}
+
+#[test]
+fn predicted_drain_matches_measured_drain() {
+    let mut cfg = SimConfig::small(20.0);
+    cfg.initial_soc = (1.0, 1.0); // uniform start: drain is the only effect
+    let analysis = analysis_of(&cfg);
+    let out = World::new(&cfg, 3).run();
+    let measured_w = out.total_drained_j / cfg.duration_s;
+    let predicted_w = analysis.network_drain_w();
+    let ratio = measured_w / predicted_w;
+    assert!(
+        (0.6..=1.5).contains(&ratio),
+        "measured {measured_w:.3} W vs predicted {predicted_w:.3} W (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn predicted_request_rate_matches_measured_service_rate() {
+    let mut cfg = SimConfig::small(30.0);
+    cfg.initial_soc = (0.5, 1.0);
+    let analysis = analysis_of(&cfg);
+    let out = World::new(&cfg, 5).run();
+    let measured_per_day = out.report.recharge_visits as f64 / cfg.duration_days;
+    let predicted_per_day = analysis.requests_per_day();
+    let ratio = measured_per_day / predicted_per_day;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "measured {measured_per_day:.1}/day vs predicted {predicted_per_day:.1}/day"
+    );
+}
+
+#[test]
+fn sustainable_configuration_actually_sustains() {
+    let cfg = SimConfig::small(15.0);
+    let analysis = analysis_of(&cfg);
+    assert!(
+        analysis.is_sustainable(0.7),
+        "the default small config should be sustainable"
+    );
+    let out = World::new(&cfg, 9).run();
+    assert!(
+        out.report.nonfunctional_pct < 2.0,
+        "sustainable config lost {:.2}% of sensors",
+        out.report.nonfunctional_pct
+    );
+}

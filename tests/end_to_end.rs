@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: full simulations driven through the
+//! public facade, checking engine invariants that span every crate.
+
+use wrsn::core::SchedulerKind;
+use wrsn::sim::{ActivityConfig, SimConfig, World};
+
+fn test_cfg(days: f64) -> SimConfig {
+    let mut cfg = SimConfig::small(days);
+    cfg.num_sensors = 80;
+    cfg.num_targets = 4;
+    cfg.field_side = 80.0;
+    cfg.min_batch_demand_j = 20e3;
+    // Start some sensors below the recharge threshold so request and
+    // recharge activity begins immediately even in short runs.
+    cfg.initial_soc = (0.4, 1.0);
+    cfg
+}
+
+#[test]
+fn energy_flows_are_consistent() {
+    for kind in SchedulerKind::EVALUATED {
+        let mut cfg = test_cfg(4.0);
+        cfg.scheduler = kind;
+        let out = World::new(&cfg, 3).run();
+
+        // The engine and the metrics layer must agree on delivered energy.
+        assert!(
+            (out.report.recharged_mj * 1e6 - out.total_delivered_j).abs() < 1e-6,
+            "{kind}: ledger mismatch"
+        );
+        // RVs never spend energy they do not have.
+        assert!(
+            out.rv_energy_shortfall_j < 1.0,
+            "{kind}: shortfall {}",
+            out.rv_energy_shortfall_j
+        );
+        // Something actually happened.
+        assert!(out.total_drained_j > 0.0, "{kind}: nothing drained");
+        assert!(out.report.recharged_mj > 0.0, "{kind}: nothing recharged");
+        // Objective is consistent with its parts.
+        assert!(
+            (out.report.objective_mj - (out.report.recharged_mj - out.report.travel_energy_mj))
+                .abs()
+                < 1e-9
+        );
+        // Travel energy = e_m × distance.
+        assert!(
+            (out.report.travel_energy_mj * 1e6
+                - cfg.rv_model.move_j_per_m * out.report.travel_distance_m)
+                .abs()
+                < 1.0
+        );
+    }
+}
+
+#[test]
+fn reports_stay_in_valid_ranges() {
+    let mut cfg = test_cfg(3.0);
+    cfg.scheduler = SchedulerKind::Partition;
+    let out = World::new(&cfg, 11).run();
+    let r = &out.report;
+    assert!((0.0..=100.0).contains(&r.coverage_ratio_pct));
+    assert!((0.0..=100.0).contains(&r.missing_rate_pct));
+    assert!((0.0..=100.0).contains(&r.nonfunctional_pct));
+    assert!((r.coverage_ratio_pct + r.missing_rate_pct - 100.0).abs() < 1e-6);
+    assert!(r.travel_distance_m >= 0.0);
+    assert!(out.final_alive <= cfg.num_sensors);
+}
+
+#[test]
+fn disabling_erc_equals_k_zero() {
+    // `erp: None` (prior work) must behave exactly like `erp: Some(0.0)`.
+    let mut a = test_cfg(3.0);
+    a.activity = ActivityConfig {
+        round_robin: true,
+        erp: None,
+    };
+    let mut b = test_cfg(3.0);
+    b.activity = ActivityConfig {
+        round_robin: true,
+        erp: Some(0.0),
+    };
+    let ra = World::new(&a, 5).run();
+    let rb = World::new(&b, 5).run();
+    assert_eq!(ra.report, rb.report);
+}
+
+#[test]
+fn determinism_across_schedulers() {
+    for kind in SchedulerKind::EVALUATED {
+        let mut cfg = test_cfg(2.0);
+        cfg.scheduler = kind;
+        let a = World::new(&cfg, 17).run();
+        let b = World::new(&cfg, 17).run();
+        assert_eq!(a.report, b.report, "{kind} not deterministic");
+        assert_eq!(a.deaths, b.deaths);
+        assert_eq!(a.plans, b.plans);
+    }
+}
+
+#[test]
+fn stepping_matches_run() {
+    let cfg = test_cfg(1.0);
+    let from_run = World::new(&cfg, 23).run();
+    let mut w = World::new(&cfg, 23);
+    while !w.finished() {
+        w.step();
+    }
+    assert_eq!(w.outcome().report, from_run.report);
+}
+
+#[test]
+fn single_rv_insertion_scheduler_end_to_end() {
+    let mut cfg = test_cfg(4.0);
+    cfg.num_rvs = 1;
+    cfg.scheduler = SchedulerKind::Insertion;
+    let out = World::new(&cfg, 9).run();
+    assert!(out.plans > 0);
+    assert!(out.report.recharged_mj > 0.0);
+}
+
+#[test]
+fn overloaded_fleet_degrades_gracefully() {
+    // Failure injection: one slow RV against a hungry network. The engine
+    // must not panic, leak energy, or report impossible metrics even as
+    // sensors die.
+    let mut cfg = test_cfg(5.0);
+    cfg.num_rvs = 1;
+    cfg.watch_duty = 1.0; // every sensor drains at full detector power
+    cfg.scheduler = SchedulerKind::Greedy;
+    let out = World::new(&cfg, 13).run();
+    assert!(out.deaths > 0, "overload should kill sensors");
+    assert!(out.report.nonfunctional_pct > 0.0);
+    assert!(out.rv_energy_shortfall_j < 1.0);
+    assert!((0.0..=100.0).contains(&out.report.coverage_ratio_pct));
+}
+
+#[test]
+fn zero_watch_duty_means_almost_no_recharging() {
+    // With detectors fully off outside monitoring, only cluster members
+    // drain meaningfully; over 2 days nobody should need the RVs.
+    let mut cfg = test_cfg(2.0);
+    cfg.watch_duty = 0.0;
+    let out = World::new(&cfg, 2).run();
+    assert_eq!(out.deaths, 0);
+    assert!(out.report.nonfunctional_pct < 1e-9);
+}

@@ -1,0 +1,127 @@
+//! Experiment X1 (DESIGN.md): validate the paper's heuristics against the
+//! exact optimum of the NP-hard recharge problem on small instances — the
+//! paper proves hardness (§IV-A) but never measures optimality gaps; we
+//! can.
+
+use rand::{Rng, SeedableRng};
+use wrsn::core::{
+    CombinedPolicy, ExactPolicy, GreedyPolicy, PartitionPolicy, RechargePolicy, RechargeRequest,
+    RvId, RvRoute, RvState, ScheduleInput, SensorId,
+};
+use wrsn::geom::Point2;
+
+fn random_instance(seed: u64, n: usize, m: usize) -> ScheduleInput {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let base = Point2::new(100.0, 100.0);
+    let requests = (0..n)
+        .map(|i| RechargeRequest {
+            sensor: SensorId(i as u32),
+            position: Point2::new(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)),
+            demand: rng.gen_range(1_000.0..9_000.0),
+            cluster: None,
+            critical: false,
+        })
+        .collect();
+    let rvs = (0..m)
+        .map(|i| RvState {
+            id: RvId(i as u32),
+            position: base,
+            available_energy: 30_000.0,
+        })
+        .collect();
+    ScheduleInput {
+        requests,
+        rvs,
+        base,
+        cost_per_m: 5.6,
+    }
+}
+
+/// Profit judged the MIP's way: closed tours from the base station.
+fn closed_tour_profit(input: &ScheduleInput, plan: &[RvRoute]) -> f64 {
+    plan.iter()
+        .map(|route| {
+            if route.stops.is_empty() {
+                return 0.0;
+            }
+            let mut travel = 0.0;
+            let mut prev = input.base;
+            for &s in &route.stops {
+                travel += prev.distance(input.requests[s].position);
+                prev = input.requests[s].position;
+            }
+            travel += prev.distance(input.base);
+            input.route_demand(route) - input.cost_per_m * travel
+        })
+        .sum()
+}
+
+#[test]
+fn exact_upper_bounds_every_heuristic() {
+    for seed in 0..20 {
+        let input = random_instance(seed, 7, 2);
+        let exact = closed_tour_profit(&input, &ExactPolicy.plan(&input));
+        for (name, plan) in [
+            ("greedy", GreedyPolicy.plan(&input)),
+            ("partition", PartitionPolicy::new(seed).plan(&input)),
+            ("combined", CombinedPolicy.plan(&input)),
+        ] {
+            assert!(
+                input.validate_plan(&plan).is_ok(),
+                "{name} invalid (seed {seed})"
+            );
+            let p = closed_tour_profit(&input, &plan);
+            assert!(
+                p <= exact + 1e-6,
+                "{name} beat the optimum on seed {seed}: {p} > {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn combined_scheme_is_near_optimal_on_small_instances() {
+    // Quantify the §IV heuristic quality: across random 7-node instances
+    // the Combined-Scheme should stay within 25% of the true optimum on
+    // average (it is usually much closer).
+    let mut ratio_sum = 0.0;
+    let mut count = 0;
+    for seed in 0..30 {
+        let input = random_instance(1_000 + seed, 7, 2);
+        let exact = closed_tour_profit(&input, &ExactPolicy.plan(&input));
+        if exact <= 0.0 {
+            continue;
+        }
+        let combined = closed_tour_profit(&input, &CombinedPolicy.plan(&input)).max(0.0);
+        ratio_sum += combined / exact;
+        count += 1;
+    }
+    assert!(count > 10, "too few positive-profit instances");
+    let avg = ratio_sum / count as f64;
+    assert!(
+        avg > 0.75,
+        "combined/exact average ratio {avg:.3} below 0.75"
+    );
+}
+
+#[test]
+fn all_heuristics_respect_capacity_under_pressure() {
+    // Tight budgets: capacity barely fits two demands.
+    for seed in 100..120 {
+        let mut input = random_instance(seed, 9, 3);
+        for rv in &mut input.rvs {
+            rv.available_energy = 12_000.0;
+        }
+        for (name, plan) in [
+            ("greedy", GreedyPolicy.plan(&input)),
+            ("partition", PartitionPolicy::new(seed).plan(&input)),
+            ("combined", CombinedPolicy.plan(&input)),
+        ] {
+            assert!(
+                input.validate_plan(&plan).is_ok(),
+                "{name} violated capacity on seed {seed}: {:?}",
+                input.validate_plan(&plan)
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Shape tests for the paper's headline claims at reduced scale. These are
+//! the qualitative regression guards behind EXPERIMENTS.md: each asserts a
+//! *direction* ("who wins"), never an absolute number.
+
+use wrsn::core::SchedulerKind;
+use wrsn::sim::{ActivityConfig, SimConfig, SimOutcome, World};
+
+fn run(days: f64, scheduler: SchedulerKind, activity: ActivityConfig, seed: u64) -> SimOutcome {
+    let mut cfg = SimConfig::small(days);
+    cfg.scheduler = scheduler;
+    cfg.activity = activity;
+    cfg.min_batch_demand_j = 20e3;
+    World::new(&cfg, seed).run()
+}
+
+#[test]
+fn activity_management_saves_travel_energy() {
+    // Fig. 4: "With ERC - with RR" beats "No ERC - Full time" under every
+    // scheduling scheme.
+    for kind in SchedulerKind::EVALUATED {
+        let legacy = run(8.0, kind, ActivityConfig::legacy(), 2);
+        let managed = run(8.0, kind, ActivityConfig::managed(0.6), 2);
+        assert!(
+            managed.report.travel_energy_mj < legacy.report.travel_energy_mj,
+            "{kind}: managed {:.4} ≥ legacy {:.4}",
+            managed.report.travel_energy_mj,
+            legacy.report.travel_energy_mj
+        );
+    }
+}
+
+#[test]
+fn higher_erp_reduces_travel_energy() {
+    // Fig. 5 / Fig. 6(a): K = 0.8 travels less than K = 0 (same workload).
+    for kind in SchedulerKind::EVALUATED {
+        let k0 = run(8.0, kind, ActivityConfig::managed(0.0), 4);
+        let k8 = run(8.0, kind, ActivityConfig::managed(0.8), 4);
+        assert!(
+            k8.report.travel_energy_mj < k0.report.travel_energy_mj,
+            "{kind}: K=0.8 {:.4} ≥ K=0 {:.4}",
+            k8.report.travel_energy_mj,
+            k0.report.travel_energy_mj
+        );
+    }
+}
+
+#[test]
+fn insertion_schemes_beat_greedy_on_travel() {
+    // Fig. 6(a): greedy is the travel-hungriest scheme.
+    let greedy = run(8.0, SchedulerKind::Greedy, ActivityConfig::managed(0.6), 6);
+    let partition = run(
+        8.0,
+        SchedulerKind::Partition,
+        ActivityConfig::managed(0.6),
+        6,
+    );
+    let combined = run(
+        8.0,
+        SchedulerKind::Combined,
+        ActivityConfig::managed(0.6),
+        6,
+    );
+    assert!(partition.report.travel_energy_mj < greedy.report.travel_energy_mj);
+    assert!(combined.report.travel_energy_mj < greedy.report.travel_energy_mj);
+}
+
+#[test]
+fn greedy_has_the_worst_recharging_cost() {
+    // Fig. 6(d): recharging cost (m/sensor) is highest for greedy.
+    let greedy = run(8.0, SchedulerKind::Greedy, ActivityConfig::managed(0.6), 8);
+    let partition = run(
+        8.0,
+        SchedulerKind::Partition,
+        ActivityConfig::managed(0.6),
+        8,
+    );
+    let combined = run(
+        8.0,
+        SchedulerKind::Combined,
+        ActivityConfig::managed(0.6),
+        8,
+    );
+    assert!(
+        partition.report.recharging_cost_m_per_sensor < greedy.report.recharging_cost_m_per_sensor
+    );
+    assert!(
+        combined.report.recharging_cost_m_per_sensor < greedy.report.recharging_cost_m_per_sensor
+    );
+}
+
+#[test]
+fn objective_score_favors_insertion_schemes() {
+    // Fig. 7(b): the Eq. (2) objective of the insertion-based schemes beats
+    // greedy (they recharge as much while traveling far less).
+    let greedy = run(8.0, SchedulerKind::Greedy, ActivityConfig::managed(0.6), 10);
+    let combined = run(
+        8.0,
+        SchedulerKind::Combined,
+        ActivityConfig::managed(0.6),
+        10,
+    );
+    assert!(combined.report.objective_mj > greedy.report.objective_mj);
+}
+
+#[test]
+fn coverage_stays_high_at_moderate_erp() {
+    // Fig. 6(b): at the paper's operating point (K = 0.6) coverage of
+    // coverable targets stays above 95%.
+    for kind in SchedulerKind::EVALUATED {
+        let o = run(8.0, kind, ActivityConfig::managed(0.6), 12);
+        assert!(
+            o.report.coverage_ratio_pct > 95.0,
+            "{kind}: coverage {:.2}%",
+            o.report.coverage_ratio_pct
+        );
+    }
+}
