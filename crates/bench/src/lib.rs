@@ -3,7 +3,10 @@
 //! Every `fig*` binary in `src/bin/` sweeps a parameter grid of 120-day
 //! simulations at the paper's Table II scale, prints the figure's series as
 //! an aligned table, and writes CSV under `results/`. Runs in a sweep are
-//! independent, so they fan out over worker threads (`crossbeam::scope`).
+//! independent, so they fan out over worker threads via the deterministic
+//! [`wrsn_sim::batch`] driver (std-only: `std::thread::scope` + a shared
+//! claim counter — results come back in job order regardless of thread
+//! interleaving).
 //!
 //! Common CLI flags (parsed by [`ExpOptions::from_args`]):
 //!
@@ -13,10 +16,9 @@
 //! * `--seeds N` — average every grid point over `N` seeds (default 1,
 //!   the paper's single-run style).
 
-use parking_lot::Mutex;
 use std::path::PathBuf;
 use wrsn_metrics::{EvalReport, Summary};
-use wrsn_sim::{SimConfig, World};
+use wrsn_sim::{batch, SimConfig};
 
 /// Options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -112,44 +114,21 @@ pub struct GridResult {
 }
 
 /// Runs every `(grid point, seed)` pair across worker threads and averages
-/// per point. Order of the results matches the input grid.
+/// per point. Order of the results matches the input grid, and — because
+/// the batch driver returns outcomes in job order — every per-point seed
+/// sequence is identical whatever the worker count.
 pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
-    let jobs: Vec<(usize, u64)> = (0..grid.len())
-        .flat_map(|g| (0..seeds).map(move |s| (g, s)))
+    let jobs: Vec<(SimConfig, u64)> = grid
+        .iter()
+        .flat_map(|point| (0..seeds).map(|s| (point.config.clone(), s)))
         .collect();
-    let reports: Mutex<Vec<Vec<EvalReport>>> = Mutex::new(vec![Vec::new(); grid.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
+    let workers = batch::default_workers(jobs.len());
+    let outcomes = batch::run_batch(&jobs, workers);
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = {
-                    let mut n = next.lock();
-                    if *n >= jobs.len() {
-                        return;
-                    }
-                    let j = jobs[*n];
-                    *n += 1;
-                    j
-                };
-                let (g, seed) = job;
-                let outcome = World::new(&grid[g].config, seed).run();
-                reports.lock()[g].push(outcome.report);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    let reports = reports.into_inner();
     grid.into_iter()
-        .zip(reports)
-        .map(|(point, mut rs)| {
-            // Seed order may differ per thread timing; sort for determinism.
-            rs.sort_by(|a, b| a.travel_energy_mj.total_cmp(&b.travel_energy_mj));
+        .zip(outcomes.chunks(seeds.max(1) as usize))
+        .map(|(point, chunk)| {
+            let rs: Vec<EvalReport> = chunk.iter().map(|o| o.report).collect();
             let mean = mean_report(&rs);
             let travel: Vec<f64> = rs.iter().map(|r| r.travel_energy_mj).collect();
             let travel_std_mj = Summary::of(&travel).map(|s| s.std_dev).unwrap_or(0.0);

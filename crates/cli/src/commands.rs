@@ -170,11 +170,22 @@ pub fn sweep(args: &Args) -> Result<(), String> {
         ),
         &["ERP", "travel MJ", "recharged MJ", "coverage %", "dead %"],
     );
-    for i in 0..points {
-        let k = i as f64 / (points - 1) as f64;
-        let mut cfg = base.clone();
-        cfg.activity.erp = Some(k);
-        let out = World::new(&cfg, seed).run();
+    // The sweep points are independent runs: fan out over the std-only
+    // batch driver. Results come back in point order whatever the worker
+    // count, so the table is identical to the old serial loop's.
+    let erps: Vec<f64> = (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect();
+    let jobs: Vec<(wrsn_sim::SimConfig, u64)> = erps
+        .iter()
+        .map(|&k| {
+            let mut cfg = base.clone();
+            cfg.activity.erp = Some(k);
+            (cfg, seed)
+        })
+        .collect();
+    let outcomes = wrsn_sim::batch::run_batch(&jobs, wrsn_sim::batch::default_workers(jobs.len()));
+    for (k, out) in erps.iter().zip(&outcomes) {
         table.row_f64(
             &format!("{k:.2}"),
             &[
@@ -185,9 +196,7 @@ pub fn sweep(args: &Args) -> Result<(), String> {
             ],
             3,
         );
-        eprint!(".");
     }
-    eprintln!();
     print!("{}", table.render());
     Ok(())
 }
@@ -298,20 +307,46 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         cfg.num_sensors,
         cfg.num_targets,
         cfg.num_rvs,
-        if cfg.activity.round_robin { "round-robin" } else { "full-time" }
+        if cfg.activity.round_robin {
+            "round-robin"
+        } else {
+            "full-time"
+        }
     );
-    println!("network drain          : {:>8.2} W", analysis.network_drain_w());
-    println!("fleet capacity         : {:>8.2} W", analysis.fleet_capacity_w());
+    println!(
+        "network drain          : {:>8.2} W",
+        analysis.network_drain_w()
+    );
+    println!(
+        "fleet capacity         : {:>8.2} W",
+        analysis.fleet_capacity_w()
+    );
     println!(
         "sustainable @ {:>3.0}% util: {:>8}",
         utilization * 100.0,
-        if analysis.is_sustainable(utilization) { "yes" } else { "NO" }
+        if analysis.is_sustainable(utilization) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
-    println!("threshold crossing     : {:>8.1} days (watching sensor, full → {:.0}%)",
-        analysis.days_to_threshold_watching(), cfg.recharge_threshold_frac * 100.0);
-    println!("deadline after request : {:>8.1} days", analysis.days_to_die_after_threshold());
-    println!("expected request rate  : {:>8.1} /day", analysis.requests_per_day());
-    println!("top-up service time    : {:>8.1} min", analysis.service_time_s() / 60.0);
+    println!(
+        "threshold crossing     : {:>8.1} days (watching sensor, full → {:.0}%)",
+        analysis.days_to_threshold_watching(),
+        cfg.recharge_threshold_frac * 100.0
+    );
+    println!(
+        "deadline after request : {:>8.1} days",
+        analysis.days_to_die_after_threshold()
+    );
+    println!(
+        "expected request rate  : {:>8.1} /day",
+        analysis.requests_per_day()
+    );
+    println!(
+        "top-up service time    : {:>8.1} min",
+        analysis.service_time_s() / 60.0
+    );
     Ok(())
 }
 

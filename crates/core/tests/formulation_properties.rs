@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use wrsn_core::{
-    CombinedPolicy, GreedyPolicy, MipAssignment, PartitionPolicy, RechargePolicy,
-    RechargeRequest, RvId, RvRoute, RvState, SavingsPolicy, ScheduleInput, SensorId,
+    CombinedPolicy, GreedyPolicy, MipAssignment, PartitionPolicy, RechargePolicy, RechargeRequest,
+    RvId, RvRoute, RvState, SavingsPolicy, ScheduleInput, SensorId,
 };
 use wrsn_geom::Point2;
 

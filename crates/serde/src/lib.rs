@@ -1,0 +1,57 @@
+//! Workspace-local, std-only stand-in for [`serde`].
+//!
+//! The wrsn workspace must build in fully offline / air-gapped
+//! environments. Its types carry `#[derive(Serialize, Deserialize)]` to
+//! stay serialization-ready, but nothing actually serializes yet (there
+//! is no `serde_json` or similar in the tree), so this crate provides
+//! the two traits as *markers* plus derives that emit empty impls. The
+//! moment a real serialization backend is needed, point the workspace
+//! dependency back at crates.io — every annotated type keeps compiling.
+//!
+//! [`serde`]: https://docs.rs/serde
+
+// The derive macros emit `impl ::serde::… for T`, which must also resolve
+// inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized. The real trait's methods are
+/// intentionally absent — see the crate docs.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+/// Deserialization-related traits, mirroring `serde::de`.
+pub mod de {
+    /// Marker matching `serde::de::DeserializeOwned`: anything
+    /// deserializable without borrowing from the input.
+    pub trait DeserializeOwned {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: u32,
+    }
+
+    #[derive(crate::Serialize, crate::Deserialize)]
+    enum Kind {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(u8),
+    }
+
+    fn assert_roundtrippable<T: crate::Serialize + crate::de::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_satisfy_bounds() {
+        assert_roundtrippable::<Plain>();
+        assert_roundtrippable::<Kind>();
+    }
+}

@@ -1,0 +1,56 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! The real `serde_derive` generates full (de)serialization code; nothing
+//! in this workspace serializes yet, so these derives only emit the empty
+//! marker-trait impls that keep `T: Serialize` / `T: DeserializeOwned`
+//! bounds satisfiable. No `syn`/`quote`: the input is scanned for the
+//! `struct`/`enum` keyword and the following type name.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is attached to, panicking on
+/// shapes the stand-in does not support (generic types).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => {
+                        panic!("serde stand-in: expected a type name after `{kw}`, got {other:?}")
+                    }
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde stand-in: generic type `{name}` is not supported; \
+                             write the impls by hand or extend crates/serde_derive"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stand-in: no struct/enum found in derive input");
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Emits `impl ::serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

@@ -1,0 +1,228 @@
+//! Deterministic parallel execution of simulation batches.
+//!
+//! Every experiment in the workspace — figure regeneration, ablations,
+//! robustness sweeps, CLI parameter scans — reduces to the same shape:
+//! run `World::new(&config, seed).run()` for a list of independent
+//! `(config, seed)` jobs and collect the outcomes *in job order*. This
+//! module is that shape as a library, built on `std::thread::scope` only
+//! (no external thread-pool crates), so results are byte-identical
+//! whatever the worker count or thread interleaving:
+//!
+//! * each job is identified by its index in the input list;
+//! * workers claim indices from a shared atomic counter (dynamic load
+//!   balancing — long jobs don't stall a fixed-stripe partner);
+//! * outcomes land in a pre-sized slot table guarded by a [`Mutex`], so
+//!   the returned `Vec` is ordered by job index, never by completion
+//!   time.
+//!
+//! [`par_map`] is the policy-free core (any `index → T` function);
+//! [`run_batch`] and [`Batch`] are the simulation-facing wrappers.
+
+use crate::{SimConfig, SimOutcome, World};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for a batch of `jobs` jobs: the
+/// machine's available parallelism, but never more threads than jobs and
+/// always at least one.
+pub fn default_workers(jobs: usize) -> NonZeroUsize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4);
+    NonZeroUsize::new(hw.min(jobs).max(1)).expect("max(1) is non-zero")
+}
+
+/// Evaluates `f(0..n)` on `workers` threads and returns the results
+/// ordered by index — a deterministic parallel map.
+///
+/// `f` runs once per index, on an unspecified thread; determinism of the
+/// *output* only requires `f` itself to be a pure function of its index.
+/// Panics in `f` propagate (the scope joins all workers first).
+pub fn par_map<T, F>(n: usize, workers: NonZeroUsize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.get().min(n);
+    if workers == 1 {
+        // Serial fast path: no threads, no locks — and the reference
+        // behaviour the parallel path must reproduce exactly.
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let value = f(i);
+                slots.lock().expect("batch slot table poisoned")[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("batch slot table poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index below n was claimed exactly once"))
+        .collect()
+}
+
+/// Runs every `(config, seed)` job and returns the outcomes in job order.
+/// The result is independent of `workers`: `run_batch(jobs, 1)` and
+/// `run_batch(jobs, 32)` are byte-identical.
+pub fn run_batch(jobs: &[(SimConfig, u64)], workers: NonZeroUsize) -> Vec<SimOutcome> {
+    par_map(jobs.len(), workers, |i| {
+        let (cfg, seed) = &jobs[i];
+        World::new(cfg, *seed).run()
+    })
+}
+
+/// Builder for common batch shapes: seed grids over one or many
+/// configurations.
+///
+/// ```
+/// use wrsn_sim::{batch::Batch, SimConfig};
+///
+/// let mut cfg = SimConfig::small(0.05);
+/// cfg.num_sensors = 30;
+/// cfg.num_targets = 2;
+/// let outcomes = Batch::new().push_seeds(&cfg, 0..3).run();
+/// assert_eq!(outcomes.len(), 3);
+/// ```
+#[derive(Default)]
+pub struct Batch {
+    jobs: Vec<(SimConfig, u64)>,
+    workers: Option<NonZeroUsize>,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one `(config, seed)` job.
+    pub fn push(mut self, config: &SimConfig, seed: u64) -> Self {
+        self.jobs.push((config.clone(), seed));
+        self
+    }
+
+    /// Appends one job per seed, all sharing `config`.
+    pub fn push_seeds(mut self, config: &SimConfig, seeds: impl IntoIterator<Item = u64>) -> Self {
+        for seed in seeds {
+            self.jobs.push((config.clone(), seed));
+        }
+        self
+    }
+
+    /// Overrides the worker count (default: [`default_workers`]).
+    pub fn workers(mut self, workers: NonZeroUsize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs all jobs; outcomes are ordered like the `push` calls.
+    pub fn run(self) -> Vec<SimOutcome> {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| default_workers(self.jobs.len()));
+        run_batch(&self.jobs, workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::SchedulerKind;
+
+    fn tiny(days: f64, scheduler: SchedulerKind) -> SimConfig {
+        let mut cfg = SimConfig::small(days);
+        cfg.num_sensors = 40;
+        cfg.num_targets = 2;
+        cfg.num_rvs = 1;
+        cfg.field_side = 50.0;
+        cfg.scheduler = scheduler;
+        cfg
+    }
+
+    #[test]
+    fn par_map_orders_by_index_whatever_the_worker_count() {
+        for workers in [1, 2, 7] {
+            let out = par_map(23, NonZeroUsize::new(workers).unwrap(), |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_input() {
+        let out: Vec<u32> = par_map(0, NonZeroUsize::new(8).unwrap(), |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_is_byte_identical_to_serial_loop() {
+        // The ISSUE's determinism criterion: a parallel sweep over N seeds
+        // produces byte-identical `EvalReport`s to a serial loop.
+        let jobs: Vec<(SimConfig, u64)> = (0..6)
+            .map(|s| (tiny(0.2, SchedulerKind::Greedy), s))
+            .collect();
+        let serial: Vec<_> = jobs
+            .iter()
+            .map(|(cfg, seed)| World::new(cfg, *seed).run())
+            .collect();
+        for workers in [1usize, 3, 8] {
+            let parallel = run_batch(&jobs, NonZeroUsize::new(workers).unwrap());
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.report, s.report, "workers={workers}");
+                assert_eq!(p.total_drained_j, s.total_drained_j);
+                assert_eq!(p.total_delivered_j, s.total_delivered_j);
+                assert_eq!(p.deaths, s.deaths);
+                assert_eq!(p.plans, s.plans);
+                assert_eq!(p.final_alive, s.final_alive);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_builder_runs_mixed_configs_in_push_order() {
+        let a = tiny(0.1, SchedulerKind::Greedy);
+        let b = tiny(0.1, SchedulerKind::Combined);
+        let outcomes = Batch::new()
+            .push(&a, 3)
+            .push(&b, 3)
+            .push_seeds(&a, 4..6)
+            .workers(NonZeroUsize::new(2).unwrap())
+            .run();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].report, World::new(&a, 3).run().report);
+        assert_eq!(outcomes[1].report, World::new(&b, 3).run().report);
+        assert_eq!(outcomes[2].report, World::new(&a, 4).run().report);
+        assert_eq!(outcomes[3].report, World::new(&a, 5).run().report);
+    }
+
+    #[test]
+    fn default_workers_is_clamped_to_jobs() {
+        assert_eq!(default_workers(1).get(), 1);
+        assert!(default_workers(0).get() >= 1);
+        assert!(default_workers(1_000).get() >= 1);
+    }
+}

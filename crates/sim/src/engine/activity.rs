@@ -1,0 +1,118 @@
+//! Phase 2 — sensor activity management (§III) and routing refresh.
+//!
+//! Owns the round-robin slot handover (each cluster's rota passes the
+//! monitoring duty to its next live member every `slot_s`) and the
+//! derived per-sensor activity states: *active* (rota holder, detector
+//! powered), *dormant* (off-duty cluster member, everything off) or
+//! *watching* (duty-cycled, everyone else). Whenever activity or the
+//! live-node set changed, the Dijkstra routing tree toward the sink and
+//! the per-node relay loads are recomputed.
+
+use super::WorldState;
+use wrsn_core::SensorId;
+use wrsn_net::{relay_loads, RoutingTree};
+
+/// Hands the monitoring duty to the next live rota member when the slot
+/// boundary passed. Marks routing dirty so loads follow the new holder.
+pub(crate) fn advance_slots(state: &mut WorldState) {
+    if state.t >= state.next_slot {
+        state.next_slot = state.t + state.cfg.slot_s;
+        let batteries = &state.batteries;
+        for rota in &mut state.rotas {
+            rota.advance(|s| !batteries[s.index()].is_depleted());
+        }
+        state.routing_dirty = true;
+    }
+}
+
+/// Recomputes which sensors actively monitor, then the routing tree
+/// over live nodes and per-node relay loads.
+pub(crate) fn refresh_routing(state: &mut WorldState) {
+    state.active.iter_mut().for_each(|a| *a = false);
+    state.dormant.iter_mut().for_each(|d| *d = false);
+    for (ci, cluster) in state.clusters.iter() {
+        let alive = |s: SensorId| !state.batteries[s.index()].is_depleted();
+        if state.cfg.activity.round_robin {
+            // Off-duty members sleep entirely; the rota holder monitors.
+            for &m in &cluster.members {
+                state.dormant[m.index()] = true;
+            }
+            if let Some(s) = state.rotas[ci.index()].active(alive) {
+                state.active[s.index()] = true;
+                state.dormant[s.index()] = false;
+            }
+        } else {
+            for &m in &cluster.members {
+                if alive(m) {
+                    state.active[m.index()] = true;
+                }
+            }
+        }
+    }
+    let batteries = &state.batteries;
+    let tree = RoutingTree::toward_enabled(&state.graph, 0, |v| {
+        v == 0 || !batteries[v - 1].is_depleted()
+    });
+    let mut gen = vec![0.0; state.graph.len()];
+    for s in 0..state.cfg.num_sensors {
+        if state.active[s] {
+            gen[s + 1] = state.cfg.data_rate_pps;
+        }
+    }
+    state.loads = relay_loads(&tree, &gen);
+    state.routing_dirty = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ActivityConfig, SimConfig, World};
+
+    fn tiny_cfg(days: f64) -> SimConfig {
+        let mut cfg = SimConfig::small(days);
+        cfg.num_sensors = 60;
+        cfg.num_targets = 3;
+        cfg.num_rvs = 1;
+        cfg.field_side = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn round_robin_drains_less_than_full_time() {
+        // §III-C: dormant off-duty members make cluster consumption drop.
+        let mk = |rr: bool| {
+            let mut cfg = tiny_cfg(2.0);
+            cfg.activity.round_robin = rr;
+            cfg.activity.erp = None;
+            cfg.target_period_s = cfg.duration_s * 2.0; // static clusters
+            World::new(&cfg, 21).run().total_drained_j
+        };
+        let full = mk(false);
+        let rr = mk(true);
+        assert!(rr < full, "round robin drained {rr} ≥ full time {full}");
+    }
+
+    #[test]
+    fn exactly_one_member_monitors_under_round_robin() {
+        let mut cfg = tiny_cfg(0.5);
+        cfg.target_period_s = cfg.duration_s * 2.0; // static clusters
+        let w = World::new(&cfg, 17);
+        for (ci, cluster) in w.clusters().iter() {
+            let _ = ci;
+            let active = cluster.members.iter().filter(|&&m| w.is_active(m)).count();
+            assert_eq!(active, 1, "one rota holder per cluster");
+        }
+    }
+
+    #[test]
+    fn full_time_activation_wakes_every_member() {
+        let mut cfg = tiny_cfg(0.5);
+        cfg.activity = ActivityConfig {
+            round_robin: false,
+            erp: None,
+        };
+        let w = World::new(&cfg, 17);
+        for (_ci, cluster) in w.clusters().iter() {
+            assert!(cluster.members.iter().all(|&m| w.is_active(m)));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Phase 4 — recharge request management and dispatch (§III-B, Algs. 2–4).
+//!
+//! Maintains the request board (threshold crossings become *pending*,
+//! the §III-B ERC quorum turns a request group's pending requests into
+//! *released* ones), decides when a dispatch wave is worth starting
+//! ([`should_plan`]'s batch/age/critical hysteresis), and hands the
+//! released demand to the configured [`RechargePolicy`] to turn into RV
+//! routes.
+
+use super::WorldState;
+use wrsn_core::{ClusterId, RechargeRequest, RvState, ScheduleInput, SensorId};
+
+/// Updates the request board from current battery states: recoveries
+/// leave, threshold crossings enter, and the §III-B ERC quorum releases
+/// aggregated group requests.
+pub(crate) fn manage_requests(state: &mut WorldState) {
+    let thr = state.cfg.recharge_threshold_frac;
+
+    // Recovered sensors leave the board.
+    for s in 0..state.cfg.num_sensors {
+        let id = SensorId(s as u32);
+        if state.batteries[s].soc() >= thr && state.board.is_released(id) {
+            // Assigned requests stay with their RV (it is already on
+            // the way); only unassigned recoveries clear.
+            if state.board.is_unassigned(id) {
+                state.board.clear(id);
+            }
+        }
+    }
+
+    // Threshold crossings become pending. Requests enter the recharge
+    // node list through the request-group quorum below (§III-B).
+    // Exceptions that release immediately: depleted sensors (the base
+    // station notices the lost heartbeat, and a dead node cannot join
+    // any quorum) and sensors that never belonged to a cluster (no
+    // group to coordinate with — the prior-work rule applies). Merely
+    // *low* sensors are NOT released early: per §III-C the framework
+    // prioritizes them inside the recharge routes (the `critical`
+    // flag) but still withholds the request, which is exactly why
+    // large ERP values trade coverage for travel energy.
+    let mut dirty_groups: Vec<u32> = Vec::new();
+    for s in 0..state.cfg.num_sensors {
+        if state.failed[s] {
+            continue; // broken hardware: recharging cannot help
+        }
+        let id = SensorId(s as u32);
+        let soc = state.batteries[s].soc();
+        if soc < thr {
+            state.board.mark_pending(id);
+            if state.batteries[s].is_depleted() {
+                state.board.release(id, state.t);
+            } else if state.board.is_pending(id) {
+                match state.group_of[s] {
+                    Some(gid) => dirty_groups.push(gid),
+                    None => state.board.release(id, state.t),
+                }
+            }
+        }
+    }
+
+    // ERC quorum per request group (§III-B): once the below-threshold
+    // share of a sensor's stored member list reaches the ERP, every
+    // below-threshold member sends its (aggregated) request.
+    dirty_groups.sort_unstable();
+    dirty_groups.dedup();
+    for gid in dirty_groups {
+        let (start, len) = state.groups[gid as usize];
+        let members = &state.group_arena[start as usize..(start + len) as usize];
+        let below = members
+            .iter()
+            .filter(|m| state.batteries[m.index()].soc() < thr)
+            .count();
+        if state.erp.should_release(below, members.len()) {
+            for m in 0..members.len() {
+                let member = state.group_arena[start as usize + m];
+                if state.batteries[member.index()].soc() < thr && !state.failed[member.index()] {
+                    state.board.release(member, state.t);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch batching with hysteresis: a wave starts when the recharge
+/// node list is worth a tour — accumulated demand reaches the batch
+/// size, a request turned critical, or a request aged past the latency
+/// bound — and keeps the planner live until the unassigned queue
+/// drains, so RVs chain follow-up assignments from their field
+/// positions instead of waiting for a fresh batch.
+pub(crate) fn should_plan(state: &mut WorldState) -> bool {
+    let mut demand = 0.0;
+    let mut oldest = f64::INFINITY;
+    let mut critical = false;
+    for id in state.board.unassigned() {
+        let s = id.index();
+        demand += state.batteries[s].deficit();
+        let rel = state.board.released_time(id);
+        if rel.is_finite() {
+            oldest = oldest.min(rel);
+        }
+        critical |= state.batteries[s].soc() < state.cfg.critical_soc;
+    }
+    if demand <= 0.0 {
+        state.dispatching = false;
+        return false;
+    }
+    if !state.dispatching
+        && (critical
+            || demand >= state.cfg.min_batch_demand_j
+            || state.t - oldest >= state.cfg.max_request_age_s)
+    {
+        state.dispatching = true;
+    }
+    state.dispatching
+}
+
+/// Builds a [`ScheduleInput`] from the unassigned board and plannable
+/// fleet, runs the configured policy, and commits the produced routes to
+/// their RVs.
+pub(crate) fn plan_routes(state: &mut WorldState) {
+    let reserve = state.cfg.rv_model.battery_capacity_j * state.cfg.rv_model.low_battery_frac;
+    let rv_states: Vec<RvState> = state
+        .rvs
+        .iter()
+        .filter(|rv| rv.is_plannable() && !rv.needs_base(state.cfg.rv_model.low_battery_frac))
+        .map(|rv| RvState {
+            id: rv.id,
+            position: rv.pos,
+            available_energy: rv.plannable_energy(reserve),
+        })
+        .collect();
+    if rv_states.is_empty() {
+        return;
+    }
+    let requests: Vec<RechargeRequest> = state
+        .board
+        .unassigned()
+        .map(|id| {
+            let s = id.index();
+            RechargeRequest {
+                sensor: id,
+                position: state.sensor_pos[s],
+                demand: state.batteries[s].deficit(),
+                // The request group is the §IV-C aggregation unit: one
+                // RV visit serves all of a group's released requests.
+                cluster: state.group_of[s].map(ClusterId),
+                critical: state.batteries[s].soc() < state.cfg.critical_soc,
+            }
+        })
+        .collect();
+    if requests.is_empty() {
+        return;
+    }
+    let input = ScheduleInput {
+        requests,
+        rvs: rv_states,
+        base: state.base,
+        cost_per_m: state.cfg.rv_model.move_j_per_m,
+    };
+    let routes = state.scheduler.plan(&input);
+    debug_assert!(
+        input.validate_plan(&routes).is_ok(),
+        "scheduler produced invalid plan: {:?}",
+        input.validate_plan(&routes)
+    );
+    let mut any = false;
+    for route in &routes {
+        if route.stops.is_empty() {
+            continue;
+        }
+        let Some(agent) = state.rvs.iter_mut().find(|a| a.id == route.rv) else {
+            continue;
+        };
+        let stops: Vec<SensorId> = route
+            .stops
+            .iter()
+            .map(|&i| input.requests[i].sensor)
+            .collect();
+        for &s in &stops {
+            state.board.assign(s);
+        }
+        state.trace.push(crate::TraceEvent::Dispatch {
+            t: state.t,
+            rv: route.rv,
+            stops: stops.len(),
+            demand_j: input.route_demand(route),
+        });
+        agent.accept_route(stops);
+        any = true;
+    }
+    if any {
+        state.plans += 1;
+    } else {
+        // Nothing schedulable right now; don't thrash the planner.
+        state.next_plan_ok = state.t + state.cfg.replan_cooldown_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SimConfig, World};
+
+    fn tiny_cfg(days: f64) -> SimConfig {
+        let mut cfg = SimConfig::small(days);
+        cfg.num_sensors = 60;
+        cfg.num_targets = 3;
+        cfg.num_rvs = 1;
+        cfg.field_side = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn initial_soc_below_threshold_triggers_requests_quickly() {
+        let mut cfg = tiny_cfg(1.0);
+        cfg.initial_soc = (0.2, 0.4); // everyone starts below the threshold
+        cfg.activity.erp = Some(0.0);
+        let out = World::new(&cfg, 2).run();
+        assert!(
+            out.plans > 0,
+            "starting below threshold must trigger dispatch"
+        );
+        assert!(out.report.recharged_mj > 0.0);
+    }
+
+    #[test]
+    fn healthy_network_dispatches_nothing() {
+        let mut cfg = tiny_cfg(0.1); // a couple of hours: nobody crosses
+        cfg.initial_soc = (1.0, 1.0);
+        let out = World::new(&cfg, 2).run();
+        assert_eq!(out.plans, 0);
+        assert_eq!(out.report.recharge_visits, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Phase 3 — sensor energy: permanent-failure injection and battery drain.
+//!
+//! Each tick, every live sensor draws power for its activity state
+//! (sensing / dormant / duty-cycled watching, plus relay traffic from the
+//! routing tree and optional self-discharge), and — on failure-injection
+//! runs — may suffer a permanent Poisson hardware fault. Depletions and
+//! faults invalidate the routing tree and feed the death/failure ledgers
+//! the conservation tests audit.
+
+use super::WorldState;
+use rand::Rng;
+use wrsn_core::SensorId;
+use wrsn_energy::SensorActivity;
+
+/// Samples permanent hardware faults: each live sensor fails with
+/// probability `rate·dt/86400` this tick. Failed sensors lose their
+/// remaining charge, leave the request board, and are skipped by RVs.
+pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
+    let p = (state.cfg.permanent_failures_per_day * dt / 86_400.0).min(1.0);
+    for s in 0..state.cfg.num_sensors {
+        if state.failed[s] || state.batteries[s].is_depleted() {
+            continue;
+        }
+        if state.rng.gen_bool(p) {
+            let id = SensorId(s as u32);
+            state.failed[s] = true;
+            state.failures += 1;
+            let level = state.batteries[s].level();
+            state.batteries[s].draw(level);
+            state.was_depleted[s] = true;
+            state.board.clear(id);
+            state.routing_dirty = true;
+            state.trace.push(crate::TraceEvent::SensorFailed {
+                t: state.t,
+                sensor: id,
+            });
+        }
+    }
+}
+
+/// Integrates one tick of battery drain for every live sensor.
+pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
+    let profile = &state.cfg.sensor_profile;
+    for s in 0..state.cfg.num_sensors {
+        if state.batteries[s].is_depleted() {
+            continue;
+        }
+        let load = state.loads[s + 1];
+        let activity = if state.active[s] {
+            SensorActivity::Sensing {
+                tx_pps: load.tx_pps,
+                rx_pps: load.rx_pps,
+            }
+        } else if state.dormant[s] {
+            SensorActivity::Idle {
+                tx_pps: load.tx_pps,
+                rx_pps: load.rx_pps,
+            }
+        } else {
+            SensorActivity::Watching {
+                duty: state.cfg.watch_duty,
+                tx_pps: load.tx_pps,
+                rx_pps: load.rx_pps,
+            }
+        };
+        let power = profile.power(activity);
+        let mut demand = power * dt;
+        if state.cfg.self_discharge_per_day > 0.0 {
+            demand += state.batteries[s].level() * state.cfg.self_discharge_per_day * dt / 86_400.0;
+        }
+        let drawn = state.batteries[s].draw(demand);
+        state.total_drained_j += drawn;
+        if state.batteries[s].is_depleted() && !state.was_depleted[s] {
+            state.was_depleted[s] = true;
+            state.deaths += 1;
+            state.routing_dirty = true;
+            state.trace.push(crate::TraceEvent::SensorDepleted {
+                t: state.t,
+                sensor: SensorId(s as u32),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SimConfig, World};
+    use wrsn_core::SensorId;
+
+    fn tiny_cfg(days: f64) -> SimConfig {
+        let mut cfg = SimConfig::small(days);
+        cfg.num_sensors = 60;
+        cfg.num_targets = 3;
+        cfg.num_rvs = 1;
+        cfg.field_side = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn failure_injection_breaks_sensors_permanently() {
+        let mut cfg = tiny_cfg(4.0);
+        cfg.permanent_failures_per_day = 0.05; // 5 % of sensors per day
+        let mut w = World::new(&cfg, 31);
+        let out = w.run();
+        assert!(out.permanent_failures > 0, "failures should have occurred");
+        assert!(w.failures() == out.permanent_failures);
+        // Failed sensors are dead and stay dead.
+        let failed: Vec<_> = (0..cfg.num_sensors)
+            .filter(|&s| w.is_failed(SensorId(s as u32)))
+            .collect();
+        assert_eq!(failed.len() as u64, out.permanent_failures);
+        for s in failed {
+            assert!(w.battery(SensorId(s as u32)).is_depleted());
+        }
+        // The engine stayed consistent despite the faults.
+        assert!(out.rv_energy_shortfall_j < 1.0);
+    }
+
+    #[test]
+    fn self_discharge_accelerates_drain() {
+        let base = tiny_cfg(2.0);
+        let mut leaky = base.clone();
+        leaky.self_discharge_per_day = 0.02;
+        let a = World::new(&base, 8).run();
+        let b = World::new(&leaky, 8).run();
+        assert!(b.total_drained_j > a.total_drained_j);
+    }
+
+    #[test]
+    fn zero_failure_rate_never_breaks_hardware() {
+        let cfg = tiny_cfg(2.0); // permanent_failures_per_day = 0
+        let out = World::new(&cfg, 5).run();
+        assert_eq!(out.permanent_failures, 0);
+    }
+}

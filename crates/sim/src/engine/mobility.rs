@@ -1,0 +1,181 @@
+//! Phase 1 — target mobility and balanced clustering (Alg. 1).
+//!
+//! Moves the monitored targets according to the configured
+//! [`TargetMobility`](crate::TargetMobility) model and rebuilds the
+//! coverage map, clusters, rotas and §III-A request groups whenever
+//! coverage may have changed: on every teleport, or once a waypoint
+//! target drifts half a sensing radius from where its cluster was formed.
+
+use super::WorldState;
+use wrsn_core::{CoverageMap, RoundRobinRota};
+use wrsn_geom::Field;
+
+/// Advances target positions by one tick and rebuilds clustering when the
+/// motion invalidated it.
+pub(crate) fn step_targets(state: &mut WorldState, dt: f64) {
+    let mut rebuild = false;
+    match state.cfg.target_mobility {
+        crate::TargetMobility::Static => {}
+        crate::TargetMobility::RandomTeleport => {
+            for j in 0..state.target_pos.len() {
+                if state.t >= state.target_next_move[j] {
+                    let field = Field::new(state.cfg.field_side);
+                    state.target_pos[j] = field.random_point(&mut state.rng);
+                    state.target_next_move[j] = state.t + state.cfg.target_period_s;
+                    rebuild = true;
+                }
+            }
+        }
+        crate::TargetMobility::RandomWaypoint { speed_mps } => {
+            let field = Field::new(state.cfg.field_side);
+            let step = speed_mps * dt;
+            for j in 0..state.target_pos.len() {
+                let pos = state.target_pos[j];
+                let goal = state.target_waypoint[j];
+                let d = pos.distance(goal);
+                if d <= step {
+                    state.target_pos[j] = goal;
+                    state.target_waypoint[j] = field.random_point(&mut state.rng);
+                } else {
+                    state.target_pos[j] = pos.lerp(goal, step / d);
+                }
+                // Rebuild once a target drifts half a sensing radius
+                // from where its cluster was formed.
+                if state.target_pos[j].distance(state.target_anchor[j])
+                    > state.cfg.sensing_range * 0.5
+                {
+                    rebuild = true;
+                }
+            }
+        }
+    }
+    if rebuild {
+        state.target_anchor.copy_from_slice(&state.target_pos);
+        rebuild_clusters(state);
+    }
+}
+
+/// Recomputes coverage, balanced clusters (Alg. 1), round-robin rotas and
+/// the §III-A request groups from the current target positions.
+pub(crate) fn rebuild_clusters(state: &mut WorldState) {
+    let coverage = CoverageMap::build(
+        &state.sensor_pos,
+        &state.target_pos,
+        state.cfg.sensing_range,
+    );
+    state.clusters = wrsn_core::balanced_clusters(&coverage);
+    state.assignment = state.clusters.sensor_assignment(state.cfg.num_sensors);
+    state.rotas = state
+        .clusters
+        .clusters()
+        .iter()
+        .map(|c| RoundRobinRota::new(c.members.clone()))
+        .collect();
+    state.trace.push(crate::TraceEvent::ClustersRebuilt {
+        t: state.t,
+        clusters: state.clusters.len(),
+    });
+    // Refresh each member's stored request group (§III-A member
+    // lists). Skip the arena append when the membership is unchanged.
+    for cluster in state.clusters.clusters() {
+        let unchanged = cluster
+            .members
+            .first()
+            .and_then(|&m| state.group_of[m.index()])
+            .is_some_and(|gid| {
+                let (start, len) = state.groups[gid as usize];
+                let slice = &state.group_arena[start as usize..(start + len) as usize];
+                slice == cluster.members.as_slice()
+                    && cluster
+                        .members
+                        .iter()
+                        .all(|&m| state.group_of[m.index()] == Some(gid))
+            });
+        if unchanged {
+            continue;
+        }
+        let gid = state.groups.len() as u32;
+        let start = state.group_arena.len() as u32;
+        state.group_arena.extend_from_slice(&cluster.members);
+        state.groups.push((start, cluster.members.len() as u32));
+        for &m in &cluster.members {
+            state.group_of[m.index()] = Some(gid);
+        }
+    }
+    state.routing_dirty = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SimConfig, TargetMobility, TraceEvent, World};
+
+    fn tiny_cfg(days: f64) -> SimConfig {
+        let mut cfg = SimConfig::small(days);
+        cfg.num_sensors = 60;
+        cfg.num_targets = 3;
+        cfg.num_rvs = 1;
+        cfg.field_side = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn static_targets_never_rebuild_clusters() {
+        let mut cfg = tiny_cfg(0.5);
+        cfg.target_mobility = TargetMobility::Static;
+        let mut w = World::new(&cfg, 4);
+        w.enable_trace(100_000);
+        let before = w.targets().to_vec();
+        w.run();
+        assert_eq!(w.targets(), &before[..]);
+        // Only the construction-time rebuild appears in the trace.
+        let rebuilds = w
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ClustersRebuilt { .. }))
+            .count();
+        assert_eq!(rebuilds, 0, "no mid-run rebuilds for static targets");
+    }
+
+    #[test]
+    fn waypoint_mobility_keeps_targets_moving_and_covered() {
+        let mut cfg = tiny_cfg(1.0);
+        cfg.target_mobility = TargetMobility::RandomWaypoint { speed_mps: 0.5 };
+        let mut w = World::new(&cfg, 12);
+        let start = w.targets().to_vec();
+        for _ in 0..120 {
+            w.step();
+        }
+        // Two hours at 0.5 m/s: every target has moved.
+        let moved = w
+            .targets()
+            .iter()
+            .zip(&start)
+            .filter(|(a, b)| a.distance(**b) > 1.0)
+            .count();
+        assert!(
+            moved >= start.len() / 2,
+            "targets should wander: {moved}/{}",
+            start.len()
+        );
+        let out = w.run();
+        assert!(out.report.coverage_ratio_pct > 50.0);
+    }
+
+    #[test]
+    fn teleporting_targets_rebuild_clusters_mid_run() {
+        let mut cfg = tiny_cfg(1.0);
+        cfg.target_mobility = TargetMobility::RandomTeleport;
+        cfg.target_period_s = 3_600.0; // hourly relocations
+        let mut w = World::new(&cfg, 4);
+        w.enable_trace(100_000);
+        w.run();
+        let rebuilds = w
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ClustersRebuilt { .. }))
+            .count();
+        assert!(rebuilds > 0, "teleports must rebuild clustering");
+    }
+}

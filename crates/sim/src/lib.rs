@@ -31,7 +31,9 @@
 //! assert!(outcome.report.coverage_ratio_pct >= 0.0);
 //! ```
 
+pub mod batch;
 mod config;
+mod engine;
 pub mod render;
 mod request;
 mod rv_agent;

@@ -1,17 +1,16 @@
-//! The simulation engine: §V's evaluation environment as a deterministic
-//! discrete-time world.
+//! The simulation engine façade: §V's evaluation environment as a
+//! deterministic discrete-time world.
+//!
+//! All engine logic lives in the [`crate::engine`] subsystem modules;
+//! [`World`] owns the shared [`engine::WorldState`] and sequences the
+//! subsystems into the per-tick phase pipeline documented on
+//! [`World::step`].
 
-use crate::{RequestBoard, RvAgent, RvPhase, SimConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use wrsn_core::{
-    balanced_clusters, ClusterId, ClusterSet, CoverageMap, ErpController, RechargePolicy,
-    RechargeRequest, RoundRobinRota, RvId, RvState, ScheduleInput, SensorId,
-};
-use wrsn_energy::SensorActivity;
-use wrsn_geom::{Field, Point2};
-use wrsn_metrics::{EvalMetrics, EvalReport};
-use wrsn_net::{relay_loads, CommGraph, RoutingTree, TrafficLoad};
+use crate::engine::{self, WorldState};
+use crate::{RvAgent, SimConfig};
+use wrsn_core::{ClusterSet, SensorId};
+use wrsn_geom::Point2;
+use wrsn_metrics::EvalReport;
 
 /// Final outcome of a run: the paper-facing report plus engine diagnostics
 /// used by the conservation/invariant tests.
@@ -42,260 +41,99 @@ pub struct SimOutcome {
 /// The simulated world. Construct with [`World::new`], then either call
 /// [`World::run`] or drive [`World::step`] tick by tick.
 pub struct World {
-    cfg: SimConfig,
-    scheduler: Box<dyn RechargePolicy + Send + Sync>,
-    rng: StdRng,
-    t: f64,
-    base: Point2,
-
-    sensor_pos: Vec<Point2>,
-    batteries: Vec<wrsn_energy::Battery>,
-    was_depleted: Vec<bool>,
-
-    target_pos: Vec<Point2>,
-    target_next_move: Vec<f64>,
-    /// Random-waypoint mobility: current destination per target.
-    target_waypoint: Vec<Point2>,
-    /// Position of each target when clusters were last rebuilt (waypoint
-    /// mobility rebuilds on drift, not on a timer).
-    target_anchor: Vec<Point2>,
-
-    clusters: ClusterSet,
-    assignment: Vec<Option<ClusterId>>,
-    rotas: Vec<RoundRobinRota>,
-    next_slot: f64,
-
-    /// §III-A: each sensor stores the member list of the most recent
-    /// cluster it joined and coordinates recharge requests with that
-    /// *request group* even after the target moves on. `group_of[s]`
-    /// indexes into `groups`, an arena of `(start, len)` slices over
-    /// `group_arena`.
-    group_of: Vec<Option<u32>>,
-    groups: Vec<(u32, u32)>,
-    group_arena: Vec<SensorId>,
-
-    graph: CommGraph,
-    loads: Vec<TrafficLoad>,
-    /// Monitoring a target this slot: detector powered, data generated at
-    /// λ.
-    active: Vec<bool>,
-    /// Fully asleep this slot: off-duty round-robin cluster members switch
-    /// their detector off entirely — the rota holder covers their region
-    /// (§III-C "redundant sensors can be switched off"). Everyone else
-    /// runs the duty-cycled watch.
-    dormant: Vec<bool>,
-    routing_dirty: bool,
-
-    erp: ErpController,
-    board: RequestBoard,
-    next_plan_ok: f64,
-    /// Dispatch-wave hysteresis: set when the batch/age/critical trigger
-    /// fires, cleared when the unassigned queue drains.
-    dispatching: bool,
-
-    rvs: Vec<RvAgent>,
-
-    metrics: EvalMetrics,
-    next_sample: f64,
-    total_drained_j: f64,
-    total_delivered_j: f64,
-    deaths: u64,
-    plans: u64,
-    rv_shortfall_j: f64,
-
-    /// Permanently failed (failure injection); never rechargeable.
-    failed: Vec<bool>,
-    failures: u64,
-    trace: crate::Trace,
+    state: WorldState,
 }
 
 impl World {
     /// Builds the world from a configuration and a seed. Identical
     /// `(config, seed)` pairs produce identical runs.
     pub fn new(cfg: &SimConfig, seed: u64) -> Self {
-        cfg.validate();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let field = Field::new(cfg.field_side);
-        let base = field.center();
-        let sensor_pos = cfg.deployment.place(&field, cfg.num_sensors, &mut rng);
-        let (soc_lo, soc_hi) = cfg.initial_soc;
-        let batteries: Vec<wrsn_energy::Battery> = (0..cfg.num_sensors)
-            .map(|_| {
-                let soc = if soc_hi > soc_lo {
-                    rng.gen_range(soc_lo..=soc_hi)
-                } else {
-                    soc_lo
-                };
-                wrsn_energy::Battery::with_level(
-                    cfg.battery_capacity_j,
-                    cfg.battery_capacity_j * soc,
-                )
-                .with_charge_model(cfg.charge_model)
-            })
-            .collect();
-
-        let target_pos: Vec<Point2> = (0..cfg.num_targets)
-            .map(|_| field.random_point(&mut rng))
-            .collect();
-        // Stagger relocations so cluster rebuilds don't synchronize.
-        let target_next_move: Vec<f64> = (0..cfg.num_targets)
-            .map(|_| rng.gen_range(0.0..=cfg.target_period_s))
-            .collect();
-
-        // Communication graph over [base, sensors…] — node 0 is the sink.
-        let mut node_pos = Vec::with_capacity(cfg.num_sensors + 1);
-        node_pos.push(base);
-        node_pos.extend_from_slice(&sensor_pos);
-        let graph = CommGraph::build(&node_pos, cfg.comm_range);
-
-        let erp = ErpController::new(cfg.activity.effective_k());
-        let scheduler = cfg.scheduler.build(seed);
-
-        let rvs = (0..cfg.num_rvs)
-            .map(|i| RvAgent::new(RvId(i as u32), base, cfg.rv_model.battery_capacity_j))
-            .collect();
-
-        let mut world = Self {
-            scheduler,
-            rng,
-            t: 0.0,
-            base,
-            sensor_pos,
-            batteries,
-            was_depleted: vec![false; cfg.num_sensors],
-            target_waypoint: target_pos.clone(),
-            target_anchor: target_pos.clone(),
-            target_pos,
-            target_next_move,
-            clusters: ClusterSet::default(),
-            assignment: vec![None; cfg.num_sensors],
-            rotas: Vec::new(),
-            next_slot: cfg.slot_s,
-            group_of: vec![None; cfg.num_sensors],
-            groups: Vec::new(),
-            group_arena: Vec::new(),
-            graph,
-            loads: Vec::new(),
-            active: vec![false; cfg.num_sensors],
-            dormant: vec![false; cfg.num_sensors],
-            routing_dirty: true,
-            erp,
-            board: RequestBoard::new(cfg.num_sensors),
-            next_plan_ok: 0.0,
-            dispatching: false,
-            rvs,
-            metrics: EvalMetrics::new(),
-            next_sample: 0.0,
-            total_drained_j: 0.0,
-            total_delivered_j: 0.0,
-            deaths: 0,
-            plans: 0,
-            rv_shortfall_j: 0.0,
-            failed: vec![false; cfg.num_sensors],
-            failures: 0,
-            trace: crate::Trace::disabled(),
-            cfg: cfg.clone(),
-        };
-        world.rebuild_clusters();
-        world.refresh_routing();
-        world
+        Self {
+            state: WorldState::new(cfg, seed),
+        }
     }
 
     /// Current simulation time (s).
     pub fn time(&self) -> f64 {
-        self.t
+        self.state.t
     }
 
     /// Whether the configured duration has elapsed.
     pub fn finished(&self) -> bool {
-        self.t >= self.cfg.duration_s
+        self.state.t >= self.state.cfg.duration_s
     }
 
     /// Sensors with non-depleted batteries.
     pub fn alive_count(&self) -> usize {
-        self.batteries.iter().filter(|b| !b.is_depleted()).count()
+        self.state.alive_count()
     }
 
     /// Battery state of sensor `s`.
     pub fn battery(&self, s: SensorId) -> &wrsn_energy::Battery {
-        &self.batteries[s.index()]
+        &self.state.batteries[s.index()]
     }
 
     /// The RV agents (read-only view for tests/examples).
     pub fn rvs(&self) -> &[RvAgent] {
-        &self.rvs
+        &self.state.rvs
     }
 
     /// The current cluster set.
     pub fn clusters(&self) -> &ClusterSet {
-        &self.clusters
+        &self.state.clusters
     }
 
     /// Current target positions.
     pub fn targets(&self) -> &[Point2] {
-        &self.target_pos
+        &self.state.target_pos
     }
 
-    /// Fraction of *coverable* targets (targets with at least one candidate
-    /// sensor, i.e. a cluster) currently monitored by a live sensor —
-    /// Fig. 6(b)'s coverage ratio. Targets with no sensor in range are a
-    /// property of the random deployment, not of scheduling, and are
-    /// excluded the way the paper's 0 %-missing baselines imply. 1.0 when
-    /// no coverable target is present.
+    /// Fraction of coverable targets currently monitored by a live sensor
+    /// — Fig. 6(b)'s coverage ratio. See
+    /// [`engine::WorldState::coverage_ratio`] for the exact definition.
     pub fn coverage_ratio(&self) -> f64 {
-        if self.clusters.is_empty() {
-            return 1.0;
-        }
-        let mut covered = 0usize;
-        for (ci, _cluster) in self.clusters.iter() {
-            let rota = &self.rotas[ci.index()];
-            let alive = |s: SensorId| !self.batteries[s.index()].is_depleted();
-            // With round-robin, the rota fails over to any live member, so
-            // coverage holds as long as one member lives — same criterion
-            // as full-time activation.
-            if rota.active(alive).is_some() {
-                covered += 1;
-            }
-        }
-        covered as f64 / self.clusters.len() as f64
+        self.state.coverage_ratio()
     }
 
     /// The configuration the world was built with.
     pub fn config(&self) -> &SimConfig {
-        &self.cfg
+        &self.state.cfg
     }
 
     /// All sensor positions (fixed for the run).
     pub fn sensor_positions(&self) -> &[Point2] {
-        &self.sensor_pos
+        &self.state.sensor_pos
     }
 
     /// Whether sensor `s` is actively monitoring a target this slot.
     pub fn is_active(&self, s: SensorId) -> bool {
-        self.active[s.index()]
+        self.state.active[s.index()]
     }
 
     /// Enables event tracing, retaining at most `cap` events.
     pub fn enable_trace(&mut self, cap: usize) {
-        self.trace = crate::Trace::enabled(cap);
+        self.state.trace = crate::Trace::enabled(cap);
     }
 
     /// The event trace (empty unless [`World::enable_trace`] was called).
     pub fn trace(&self) -> &crate::Trace {
-        &self.trace
+        &self.state.trace
     }
 
     /// Permanent hardware failures injected so far.
     pub fn failures(&self) -> u64 {
-        self.failures
+        self.state.failures
     }
 
     /// Whether sensor `s` has permanently failed.
     pub fn is_failed(&self, s: SensorId) -> bool {
-        self.failed[s.index()]
+        self.state.failed[s.index()]
     }
 
     /// Runs to the configured duration and returns the outcome.
+    ///
+    /// Equivalent to calling [`World::step`] until [`World::finished`],
+    /// then [`World::outcome`] — a property the engine tests pin down.
     pub fn run(&mut self) -> SimOutcome {
         while !self.finished() {
             self.step();
@@ -305,647 +143,85 @@ impl World {
 
     /// The outcome so far (can be taken mid-run).
     pub fn outcome(&self) -> SimOutcome {
+        let state = &self.state;
         SimOutcome {
-            report: self.metrics.report(),
-            total_drained_j: self.total_drained_j,
-            total_delivered_j: self.total_delivered_j,
-            deaths: self.deaths,
-            plans: self.plans,
-            rv_energy_shortfall_j: self.rv_shortfall_j,
-            final_alive: self.alive_count(),
-            permanent_failures: self.failures,
-            rv_charging_utilization: if self.rvs.is_empty() {
+            report: state.metrics.report(),
+            total_drained_j: state.total_drained_j,
+            total_delivered_j: state.total_delivered_j,
+            deaths: state.deaths,
+            plans: state.plans,
+            rv_energy_shortfall_j: state.rv_shortfall_j,
+            final_alive: state.alive_count(),
+            permanent_failures: state.failures,
+            rv_charging_utilization: if state.rvs.is_empty() {
                 0.0
             } else {
-                self.rvs
+                state
+                    .rvs
                     .iter()
                     .map(|rv| rv.charging_utilization())
                     .sum::<f64>()
-                    / self.rvs.len() as f64
+                    / state.rvs.len() as f64
             },
         }
     }
 
-    /// Advances the world by one tick.
+    /// Advances the world by one tick: the engine phase pipeline.
+    ///
+    /// Each numbered phase is one subsystem call (see [`crate::engine`]);
+    /// the order is part of the determinism contract — subsystems draw
+    /// from the shared RNG in pipeline order.
     pub fn step(&mut self) {
-        let dt = self.cfg.tick_s;
+        let state = &mut self.state;
+        let dt = state.cfg.tick_s;
 
-        // 1. Target motion (rebuild clustering when coverage may have
-        //    changed).
-        let mut rebuild = false;
-        match self.cfg.target_mobility {
-            crate::TargetMobility::Static => {}
-            crate::TargetMobility::RandomTeleport => {
-                for j in 0..self.target_pos.len() {
-                    if self.t >= self.target_next_move[j] {
-                        let field = Field::new(self.cfg.field_side);
-                        self.target_pos[j] = field.random_point(&mut self.rng);
-                        self.target_next_move[j] = self.t + self.cfg.target_period_s;
-                        rebuild = true;
-                    }
-                }
-            }
-            crate::TargetMobility::RandomWaypoint { speed_mps } => {
-                let field = Field::new(self.cfg.field_side);
-                let step = speed_mps * dt;
-                for j in 0..self.target_pos.len() {
-                    let pos = self.target_pos[j];
-                    let goal = self.target_waypoint[j];
-                    let d = pos.distance(goal);
-                    if d <= step {
-                        self.target_pos[j] = goal;
-                        self.target_waypoint[j] = field.random_point(&mut self.rng);
-                    } else {
-                        self.target_pos[j] = pos.lerp(goal, step / d);
-                    }
-                    // Rebuild once a target drifts half a sensing radius
-                    // from where its cluster was formed.
-                    if self.target_pos[j].distance(self.target_anchor[j])
-                        > self.cfg.sensing_range * 0.5
-                    {
-                        rebuild = true;
-                    }
-                }
-            }
-        }
-        if rebuild {
-            self.target_anchor.copy_from_slice(&self.target_pos);
-            self.rebuild_clusters();
+        // 1. Mobility: target motion, rebuilding clustering when coverage
+        //    may have changed.
+        engine::mobility::step_targets(state, dt);
+
+        // 2. Activity: round-robin slot handover…
+        engine::activity::advance_slots(state);
+
+        // 3. Energy: failure injection (Poisson per-sensor hardware
+        //    faults)…
+        if state.cfg.permanent_failures_per_day > 0.0 {
+            engine::energy::inject_failures(state, dt);
         }
 
-        // 2. Round-robin slot handover.
-        if self.t >= self.next_slot {
-            self.next_slot = self.t + self.cfg.slot_s;
-            let batteries = &self.batteries;
-            for rota in &mut self.rotas {
-                rota.advance(|s| !batteries[s.index()].is_depleted());
-            }
-            self.routing_dirty = true;
+        // 4. …activity/routing/relay-load refresh where phases 1–3 left
+        //    them stale…
+        if state.routing_dirty {
+            engine::activity::refresh_routing(state);
         }
 
-        // 3. Failure injection (Poisson per-sensor hardware faults).
-        if self.cfg.permanent_failures_per_day > 0.0 {
-            self.inject_failures(dt);
+        // 5. …then sensor battery drain under the refreshed loads.
+        engine::energy::drain_sensors(state, dt);
+
+        // 6. Dispatch: request-board upkeep (threshold checks + ERC
+        //    gating), then batched recharge planning under hysteresis.
+        engine::dispatch::manage_requests(state);
+        if state.t >= state.next_plan_ok && engine::dispatch::should_plan(state) {
+            engine::dispatch::plan_routes(state);
         }
 
-        // 4. Refresh activity + routing + relay loads when stale.
-        if self.routing_dirty {
-            self.refresh_routing();
-        }
-
-        // 5. Sensor energy drain.
-        self.drain_sensors(dt);
-
-        // 6. Request management (threshold checks + ERC gating).
-        self.manage_requests();
-
-        // 7. Recharge planning (batched dispatch, see `should_plan`).
-        if self.t >= self.next_plan_ok && self.should_plan() {
-            self.plan_routes();
-        }
-
-        // 7. RV execution (movement / charging / self-charge), exact in
-        //    sub-tick time.
-        for i in 0..self.rvs.len() {
-            self.step_rv(i, dt);
+        // 7. Fleet: RV execution (movement / charging / self-charge),
+        //    exact in sub-tick time.
+        for i in 0..state.rvs.len() {
+            engine::fleet::step_rv(state, i, dt);
         }
 
         // 8. Metrics sampling.
-        if self.t >= self.next_sample {
-            self.next_sample = self.t + self.cfg.sample_every_s;
-            let alive = self.alive_count();
-            let nonfunctional = 1.0 - alive as f64 / self.cfg.num_sensors.max(1) as f64;
-            let coverage = self.coverage_ratio();
-            self.metrics.sample(self.t, coverage, nonfunctional, alive);
+        if state.t >= state.next_sample {
+            state.next_sample = state.t + state.cfg.sample_every_s;
+            let alive = state.alive_count();
+            let nonfunctional = 1.0 - alive as f64 / state.cfg.num_sensors.max(1) as f64;
+            let coverage = state.coverage_ratio();
+            state
+                .metrics
+                .sample(state.t, coverage, nonfunctional, alive);
         }
 
-        self.t += dt;
-    }
-
-    // ---- internals ------------------------------------------------------
-
-    fn rebuild_clusters(&mut self) {
-        let coverage =
-            CoverageMap::build(&self.sensor_pos, &self.target_pos, self.cfg.sensing_range);
-        self.clusters = balanced_clusters(&coverage);
-        self.assignment = self.clusters.sensor_assignment(self.cfg.num_sensors);
-        self.rotas = self
-            .clusters
-            .clusters()
-            .iter()
-            .map(|c| RoundRobinRota::new(c.members.clone()))
-            .collect();
-        self.trace.push(crate::TraceEvent::ClustersRebuilt {
-            t: self.t,
-            clusters: self.clusters.len(),
-        });
-        // Refresh each member's stored request group (§III-A member
-        // lists). Skip the arena append when the membership is unchanged.
-        for cluster in self.clusters.clusters() {
-            let unchanged = cluster
-                .members
-                .first()
-                .and_then(|&m| self.group_of[m.index()])
-                .is_some_and(|gid| {
-                    let (start, len) = self.groups[gid as usize];
-                    let slice = &self.group_arena[start as usize..(start + len) as usize];
-                    slice == cluster.members.as_slice()
-                        && cluster
-                            .members
-                            .iter()
-                            .all(|&m| self.group_of[m.index()] == Some(gid))
-                });
-            if unchanged {
-                continue;
-            }
-            let gid = self.groups.len() as u32;
-            let start = self.group_arena.len() as u32;
-            self.group_arena.extend_from_slice(&cluster.members);
-            self.groups.push((start, cluster.members.len() as u32));
-            for &m in &cluster.members {
-                self.group_of[m.index()] = Some(gid);
-            }
-        }
-        self.routing_dirty = true;
-    }
-
-    /// Recomputes which sensors actively monitor, then the routing tree
-    /// over live nodes and per-node relay loads.
-    fn refresh_routing(&mut self) {
-        self.active.iter_mut().for_each(|a| *a = false);
-        self.dormant.iter_mut().for_each(|d| *d = false);
-        for (ci, cluster) in self.clusters.iter() {
-            let alive = |s: SensorId| !self.batteries[s.index()].is_depleted();
-            if self.cfg.activity.round_robin {
-                // Off-duty members sleep entirely; the rota holder monitors.
-                for &m in &cluster.members {
-                    self.dormant[m.index()] = true;
-                }
-                if let Some(s) = self.rotas[ci.index()].active(alive) {
-                    self.active[s.index()] = true;
-                    self.dormant[s.index()] = false;
-                }
-            } else {
-                for &m in &cluster.members {
-                    if alive(m) {
-                        self.active[m.index()] = true;
-                    }
-                }
-            }
-        }
-        let batteries = &self.batteries;
-        let tree = RoutingTree::toward_enabled(&self.graph, 0, |v| {
-            v == 0 || !batteries[v - 1].is_depleted()
-        });
-        let mut gen = vec![0.0; self.graph.len()];
-        for s in 0..self.cfg.num_sensors {
-            if self.active[s] {
-                gen[s + 1] = self.cfg.data_rate_pps;
-            }
-        }
-        self.loads = relay_loads(&tree, &gen);
-        self.routing_dirty = false;
-    }
-
-    /// Samples permanent hardware faults: each live sensor fails with
-    /// probability `rate·dt/86400` this tick. Failed sensors lose their
-    /// remaining charge, leave the request board, and are skipped by RVs.
-    fn inject_failures(&mut self, dt: f64) {
-        let p = (self.cfg.permanent_failures_per_day * dt / 86_400.0).min(1.0);
-        for s in 0..self.cfg.num_sensors {
-            if self.failed[s] || self.batteries[s].is_depleted() {
-                continue;
-            }
-            if self.rng.gen_bool(p) {
-                let id = SensorId(s as u32);
-                self.failed[s] = true;
-                self.failures += 1;
-                let level = self.batteries[s].level();
-                self.batteries[s].draw(level);
-                self.was_depleted[s] = true;
-                self.board.clear(id);
-                self.routing_dirty = true;
-                self.trace.push(crate::TraceEvent::SensorFailed {
-                    t: self.t,
-                    sensor: id,
-                });
-            }
-        }
-    }
-
-    fn drain_sensors(&mut self, dt: f64) {
-        let profile = &self.cfg.sensor_profile;
-        for s in 0..self.cfg.num_sensors {
-            if self.batteries[s].is_depleted() {
-                continue;
-            }
-            let load = self.loads[s + 1];
-            let state = if self.active[s] {
-                SensorActivity::Sensing {
-                    tx_pps: load.tx_pps,
-                    rx_pps: load.rx_pps,
-                }
-            } else if self.dormant[s] {
-                SensorActivity::Idle {
-                    tx_pps: load.tx_pps,
-                    rx_pps: load.rx_pps,
-                }
-            } else {
-                SensorActivity::Watching {
-                    duty: self.cfg.watch_duty,
-                    tx_pps: load.tx_pps,
-                    rx_pps: load.rx_pps,
-                }
-            };
-            let power = profile.power(state);
-            let mut demand = power * dt;
-            if self.cfg.self_discharge_per_day > 0.0 {
-                demand +=
-                    self.batteries[s].level() * self.cfg.self_discharge_per_day * dt / 86_400.0;
-            }
-            let drawn = self.batteries[s].draw(demand);
-            self.total_drained_j += drawn;
-            if self.batteries[s].is_depleted() && !self.was_depleted[s] {
-                self.was_depleted[s] = true;
-                self.deaths += 1;
-                self.routing_dirty = true;
-                self.trace.push(crate::TraceEvent::SensorDepleted {
-                    t: self.t,
-                    sensor: SensorId(s as u32),
-                });
-            }
-        }
-    }
-
-    fn manage_requests(&mut self) {
-        let thr = self.cfg.recharge_threshold_frac;
-
-        // Recovered sensors leave the board.
-        for s in 0..self.cfg.num_sensors {
-            let id = SensorId(s as u32);
-            if self.batteries[s].soc() >= thr && self.board.is_released(id) {
-                // Assigned requests stay with their RV (it is already on
-                // the way); only unassigned recoveries clear.
-                if self.board.is_unassigned(id) {
-                    self.board.clear(id);
-                }
-            }
-        }
-
-        // Threshold crossings become pending. Requests enter the recharge
-        // node list through the request-group quorum below (§III-B).
-        // Exceptions that release immediately: depleted sensors (the base
-        // station notices the lost heartbeat, and a dead node cannot join
-        // any quorum) and sensors that never belonged to a cluster (no
-        // group to coordinate with — the prior-work rule applies). Merely
-        // *low* sensors are NOT released early: per §III-C the framework
-        // prioritizes them inside the recharge routes (the `critical`
-        // flag) but still withholds the request, which is exactly why
-        // large ERP values trade coverage for travel energy.
-        let mut dirty_groups: Vec<u32> = Vec::new();
-        for s in 0..self.cfg.num_sensors {
-            if self.failed[s] {
-                continue; // broken hardware: recharging cannot help
-            }
-            let id = SensorId(s as u32);
-            let soc = self.batteries[s].soc();
-            if soc < thr {
-                self.board.mark_pending(id);
-                if self.batteries[s].is_depleted() {
-                    self.board.release(id, self.t);
-                } else if self.board.is_pending(id) {
-                    match self.group_of[s] {
-                        Some(gid) => dirty_groups.push(gid),
-                        None => self.board.release(id, self.t),
-                    }
-                }
-            }
-        }
-
-        // ERC quorum per request group (§III-B): once the below-threshold
-        // share of a sensor's stored member list reaches the ERP, every
-        // below-threshold member sends its (aggregated) request.
-        dirty_groups.sort_unstable();
-        dirty_groups.dedup();
-        for gid in dirty_groups {
-            let (start, len) = self.groups[gid as usize];
-            let members = &self.group_arena[start as usize..(start + len) as usize];
-            let below = members
-                .iter()
-                .filter(|m| self.batteries[m.index()].soc() < thr)
-                .count();
-            if self.erp.should_release(below, members.len()) {
-                for m in 0..members.len() {
-                    let member = self.group_arena[start as usize + m];
-                    if self.batteries[member.index()].soc() < thr && !self.failed[member.index()] {
-                        self.board.release(member, self.t);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Dispatch batching with hysteresis: a wave starts when the recharge
-    /// node list is worth a tour — accumulated demand reaches the batch
-    /// size, a request turned critical, or a request aged past the latency
-    /// bound — and keeps the planner live until the unassigned queue
-    /// drains, so RVs chain follow-up assignments from their field
-    /// positions instead of waiting for a fresh batch.
-    fn should_plan(&mut self) -> bool {
-        let mut demand = 0.0;
-        let mut oldest = f64::INFINITY;
-        let mut critical = false;
-        for id in self.board.unassigned() {
-            let s = id.index();
-            demand += self.batteries[s].deficit();
-            let rel = self.board.released_time(id);
-            if rel.is_finite() {
-                oldest = oldest.min(rel);
-            }
-            critical |= self.batteries[s].soc() < self.cfg.critical_soc;
-        }
-        if demand <= 0.0 {
-            self.dispatching = false;
-            return false;
-        }
-        if !self.dispatching
-            && (critical
-                || demand >= self.cfg.min_batch_demand_j
-                || self.t - oldest >= self.cfg.max_request_age_s)
-        {
-            self.dispatching = true;
-        }
-        self.dispatching
-    }
-
-    fn plan_routes(&mut self) {
-        let reserve = self.cfg.rv_model.battery_capacity_j * self.cfg.rv_model.low_battery_frac;
-        let rv_states: Vec<RvState> = self
-            .rvs
-            .iter()
-            .filter(|rv| rv.is_plannable() && !rv.needs_base(self.cfg.rv_model.low_battery_frac))
-            .map(|rv| RvState {
-                id: rv.id,
-                position: rv.pos,
-                available_energy: rv.plannable_energy(reserve),
-            })
-            .collect();
-        if rv_states.is_empty() {
-            return;
-        }
-        let requests: Vec<RechargeRequest> = self
-            .board
-            .unassigned()
-            .map(|id| {
-                let s = id.index();
-                RechargeRequest {
-                    sensor: id,
-                    position: self.sensor_pos[s],
-                    demand: self.batteries[s].deficit(),
-                    // The request group is the §IV-C aggregation unit: one
-                    // RV visit serves all of a group's released requests.
-                    cluster: self.group_of[s].map(ClusterId),
-                    critical: self.batteries[s].soc() < self.cfg.critical_soc,
-                }
-            })
-            .collect();
-        if requests.is_empty() {
-            return;
-        }
-        let input = ScheduleInput {
-            requests,
-            rvs: rv_states,
-            base: self.base,
-            cost_per_m: self.cfg.rv_model.move_j_per_m,
-        };
-        let routes = self.scheduler.plan(&input);
-        debug_assert!(
-            input.validate_plan(&routes).is_ok(),
-            "scheduler produced invalid plan: {:?}",
-            input.validate_plan(&routes)
-        );
-        let mut any = false;
-        for route in &routes {
-            if route.stops.is_empty() {
-                continue;
-            }
-            let Some(agent) = self.rvs.iter_mut().find(|a| a.id == route.rv) else {
-                continue;
-            };
-            let stops: Vec<SensorId> = route
-                .stops
-                .iter()
-                .map(|&i| input.requests[i].sensor)
-                .collect();
-            for &s in &stops {
-                self.board.assign(s);
-            }
-            self.trace.push(crate::TraceEvent::Dispatch {
-                t: self.t,
-                rv: route.rv,
-                stops: stops.len(),
-                demand_j: input.route_demand(route),
-            });
-            agent.accept_route(stops);
-            any = true;
-        }
-        if any {
-            self.plans += 1;
-        } else {
-            // Nothing schedulable right now; don't thrash the planner.
-            self.next_plan_ok = self.t + self.cfg.replan_cooldown_s;
-        }
-    }
-
-    /// Moves RV `i` toward `goal` for at most `budget` seconds. Returns
-    /// `(time_used, arrived)`.
-    fn travel(&mut self, i: usize, goal: Point2, budget: f64) -> (f64, bool) {
-        let speed = self.cfg.rv_model.speed_mps;
-        let dist = self.rvs[i].pos.distance(goal);
-        if dist <= 1e-9 {
-            self.rvs[i].pos = goal;
-            return (0.0, true);
-        }
-        let max_d = speed * budget;
-        let (d, arrived) = if dist <= max_d {
-            (dist, true)
-        } else {
-            (max_d, false)
-        };
-        let rv = &mut self.rvs[i];
-        rv.pos = if arrived {
-            goal
-        } else {
-            rv.pos.lerp(goal, d / dist)
-        };
-        rv.distance_traveled_m += d;
-        let energy = self.cfg.rv_model.travel_energy(d);
-        let got = rv.battery.draw(energy);
-        self.rv_shortfall_j += energy - got;
-        self.metrics.record_travel(d, energy);
-        (if arrived { dist / speed } else { budget }, arrived)
-    }
-
-    fn step_rv(&mut self, i: usize, dt: f64) {
-        let mut budget = dt;
-        // A few phase transitions can happen within one tick; cap the loop
-        // defensively (every iteration either consumes budget or changes
-        // phase toward a terminal state).
-        let mut guard = 0;
-        while budget > 1e-9 {
-            guard += 1;
-            debug_assert!(guard < 10_000, "RV phase loop stuck");
-            match self.rvs[i].phase {
-                RvPhase::Idle => {
-                    if let Some(&next) = self.rvs[i].route.front() {
-                        self.rvs[i].phase = RvPhase::ToStop(next);
-                        continue;
-                    }
-                    let at_base = self.rvs[i].pos.distance(self.base) <= 1e-6;
-                    if !at_base {
-                        // No work: head home (tours start and end at the
-                        // base station, constraint (3)). The planner runs
-                        // before RV stepping each tick, so an idle RV in
-                        // the field still gets first claim on new work
-                        // from its current position.
-                        self.rvs[i].phase = RvPhase::ToBase;
-                        continue;
-                    }
-                    if !self.rvs[i].battery.is_full() {
-                        self.rvs[i].phase = RvPhase::SelfCharging;
-                        continue;
-                    }
-                    self.rvs[i].phase_time_s[0] += budget;
-                    break; // parked at base, fully charged, no work
-                }
-                RvPhase::ToStop(s) => {
-                    if self.abandon_if_exhausted(i) || self.skip_if_failed(i, s) {
-                        continue;
-                    }
-                    let goal = self.sensor_pos[s.index()];
-                    let (used, arrived) = self.travel(i, goal, budget);
-                    self.rvs[i].phase_time_s[1] += used;
-                    budget -= used;
-                    if arrived {
-                        self.rvs[i].phase = RvPhase::Charging(s);
-                    }
-                }
-                RvPhase::Charging(s) => {
-                    if self.abandon_if_exhausted(i) || self.skip_if_failed(i, s) {
-                        continue;
-                    }
-                    let power = self.cfg.rv_model.charge_power_w;
-                    let eff = self.cfg.rv_model.transfer_efficiency;
-                    let t_full = self.batteries[s.index()].time_to_full(power);
-                    if t_full <= 1e-9 {
-                        // Service complete: clear the request, revive
-                        // routing if the sensor was dead, move on.
-                        self.finish_service(i, s);
-                        continue;
-                    }
-                    let use_t = budget.min(t_full);
-                    self.rvs[i].phase_time_s[2] += use_t;
-                    let delivered = self.batteries[s.index()].charge_for(power, use_t);
-                    self.total_delivered_j += delivered;
-                    self.metrics.record_recharge_energy(delivered);
-                    let src = delivered / eff;
-                    let got = self.rvs[i].battery.draw(src);
-                    self.rv_shortfall_j += src - got;
-                    if self.was_depleted[s.index()] && !self.batteries[s.index()].is_depleted() {
-                        self.was_depleted[s.index()] = false;
-                        self.routing_dirty = true;
-                        self.trace.push(crate::TraceEvent::SensorRevived {
-                            t: self.t,
-                            sensor: s,
-                        });
-                    }
-                    budget -= use_t;
-                    if use_t >= t_full - 1e-9 {
-                        self.finish_service(i, s);
-                    }
-                }
-                RvPhase::ToBase => {
-                    let base = self.base;
-                    let (used, arrived) = self.travel(i, base, budget);
-                    self.rvs[i].phase_time_s[1] += used;
-                    budget -= used;
-                    if arrived {
-                        self.rvs[i].phase = RvPhase::SelfCharging;
-                    }
-                }
-                RvPhase::SelfCharging => {
-                    let power = self.cfg.base_charge_power_w;
-                    let t_full = self.rvs[i].battery.time_to_full(power);
-                    if t_full <= 1e-9 {
-                        self.rvs[i].phase = RvPhase::Idle;
-                        continue;
-                    }
-                    let use_t = budget.min(t_full);
-                    self.rvs[i].phase_time_s[3] += use_t;
-                    self.rvs[i].battery.charge_for(power, use_t);
-                    budget -= use_t;
-                    if use_t >= t_full - 1e-9 {
-                        self.rvs[i].phase = RvPhase::Idle;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Abandons RV `i`'s remaining route when its battery has fallen below
-    /// the hard floor (2 % — demand grows between planning and arrival, so
-    /// a tour can overrun its planned budget into the reserve). Dropped
-    /// requests return to the unassigned pool. Returns `true` when the
-    /// route was abandoned.
-    fn abandon_if_exhausted(&mut self, i: usize) -> bool {
-        if self.rvs[i].battery.soc() >= 0.02 {
-            return false;
-        }
-        for s in self.rvs[i].abandon_route() {
-            self.board.unassign(s);
-        }
-        self.rvs[i].phase = RvPhase::ToBase;
-        true
-    }
-
-    /// Drops stop `s` from RV `i`'s route when the sensor has permanently
-    /// failed (there is nothing left to charge). Returns `true` when the
-    /// stop was skipped.
-    fn skip_if_failed(&mut self, i: usize, s: SensorId) -> bool {
-        if !self.failed[s.index()] {
-            return false;
-        }
-        let rv = &mut self.rvs[i];
-        debug_assert_eq!(rv.route.front(), Some(&s), "RV skipping an unexpected stop");
-        rv.route.pop_front();
-        rv.phase = match rv.route.front() {
-            Some(&next) => RvPhase::ToStop(next),
-            None => RvPhase::Idle,
-        };
-        true
-    }
-
-    /// Completes the charging of sensor `s` by RV `i` and advances the
-    /// route.
-    fn finish_service(&mut self, i: usize, s: SensorId) {
-        self.metrics.record_service();
-        self.trace.push(crate::TraceEvent::ServiceDone {
-            t: self.t,
-            rv: self.rvs[i].id,
-            sensor: s,
-        });
-        self.board.clear(s);
-        let rv = &mut self.rvs[i];
-        debug_assert_eq!(
-            rv.route.front(),
-            Some(&s),
-            "RV finishing an unexpected stop"
-        );
-        rv.route.pop_front();
-        rv.phase = match rv.route.front() {
-            Some(&next) => RvPhase::ToStop(next),
-            None => RvPhase::Idle,
-        };
+        state.t += dt;
     }
 }
 
@@ -980,6 +256,40 @@ mod tests {
         let b = World::new(&cfg, 2).run();
         // Deployments differ, so drained energy will differ.
         assert_ne!(a.total_drained_j, b.total_drained_j);
+    }
+
+    #[test]
+    fn run_agrees_with_manual_stepping() {
+        // `World::run` must be nothing more than step-until-finished —
+        // including when the manual stepping takes an `outcome()`
+        // snapshot mid-run.
+        let mut cfg = tiny_cfg(1.0);
+        cfg.initial_soc = (0.3, 1.0);
+        let auto = World::new(&cfg, 13).run();
+
+        let mut manual = World::new(&cfg, 13);
+        let mut mid: Option<SimOutcome> = None;
+        let mut steps = 0u64;
+        while !manual.finished() {
+            manual.step();
+            steps += 1;
+            if steps == 200 {
+                mid = Some(manual.outcome());
+            }
+        }
+        let fin = manual.outcome();
+        assert_eq!(auto.report, fin.report);
+        assert_eq!(auto.total_drained_j, fin.total_drained_j);
+        assert_eq!(auto.total_delivered_j, fin.total_delivered_j);
+        assert_eq!(auto.deaths, fin.deaths);
+        assert_eq!(auto.plans, fin.plans);
+        // The mid-run snapshot is a prefix of the same run: its ledgers
+        // can only grow toward the final ones.
+        let mid = mid.expect("run is longer than 200 ticks");
+        assert!(mid.total_drained_j <= fin.total_drained_j);
+        assert!(mid.total_delivered_j <= fin.total_delivered_j);
+        assert!(mid.deaths <= fin.deaths);
+        assert!(mid.plans <= fin.plans);
     }
 
     #[test]
@@ -1050,21 +360,6 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_drains_less_than_full_time() {
-        // §III-C: dormant off-duty members make cluster consumption drop.
-        let mk = |rr: bool| {
-            let mut cfg = tiny_cfg(2.0);
-            cfg.activity.round_robin = rr;
-            cfg.activity.erp = None;
-            cfg.target_period_s = cfg.duration_s * 2.0; // static clusters
-            World::new(&cfg, 21).run().total_drained_j
-        };
-        let full = mk(false);
-        let rr = mk(true);
-        assert!(rr < full, "round robin drained {rr} ≥ full time {full}");
-    }
-
-    #[test]
     fn ideal_charger_serves_faster_than_nimh_taper() {
         let mk = |model: wrsn_energy::ChargeModel| {
             let mut cfg = tiny_cfg(5.0);
@@ -1082,129 +377,11 @@ mod tests {
     }
 
     #[test]
-    fn initial_soc_below_threshold_triggers_requests_quickly() {
-        let mut cfg = tiny_cfg(1.0);
-        cfg.initial_soc = (0.2, 0.4); // everyone starts below the threshold
-        cfg.activity.erp = Some(0.0);
-        let out = World::new(&cfg, 2).run();
-        assert!(
-            out.plans > 0,
-            "starting below threshold must trigger dispatch"
-        );
-        assert!(out.report.recharged_mj > 0.0);
-    }
-
-    #[test]
-    fn zero_rvs_is_the_no_recharging_baseline() {
-        let mut cfg = tiny_cfg(8.0);
-        cfg.num_rvs = 0;
-        cfg.initial_soc = (0.3, 1.0);
-        let out = World::new(&cfg, 5).run();
-        assert_eq!(out.report.recharged_mj, 0.0);
-        assert_eq!(out.report.travel_distance_m, 0.0);
-        assert_eq!(out.rv_charging_utilization, 0.0);
-        // Without recharging, the low-start sensors that keep getting
-        // cluster duty eventually die.
-        assert!(out.deaths > 0, "sensors must die without recharging");
-    }
-
-    #[test]
-    fn utilization_breakdown_sums_to_elapsed_time() {
-        let mut cfg = tiny_cfg(2.0);
-        cfg.initial_soc = (0.3, 1.0);
-        let mut w = World::new(&cfg, 9);
-        w.run();
-        for rv in w.rvs() {
-            let total: f64 = rv.phase_time_s.iter().sum();
-            assert!(
-                (total - cfg.duration_s).abs() < cfg.tick_s + 1e-6,
-                "phase accounting lost time: {total} vs {}",
-                cfg.duration_s
-            );
-            assert!((0.0..=1.0).contains(&rv.charging_utilization()));
-        }
-    }
-
-    #[test]
-    fn waypoint_mobility_keeps_targets_moving_and_covered() {
-        let mut cfg = tiny_cfg(1.0);
-        cfg.target_mobility = crate::TargetMobility::RandomWaypoint { speed_mps: 0.5 };
-        let mut w = World::new(&cfg, 12);
-        let start = w.targets().to_vec();
-        for _ in 0..120 {
-            w.step();
-        }
-        // Two hours at 0.5 m/s: every target has moved.
-        let moved = w
-            .targets()
-            .iter()
-            .zip(&start)
-            .filter(|(a, b)| a.distance(**b) > 1.0)
-            .count();
-        assert!(
-            moved >= start.len() / 2,
-            "targets should wander: {moved}/{}",
-            start.len()
-        );
-        let out = w.run();
-        assert!(out.report.coverage_ratio_pct > 50.0);
-    }
-
-    #[test]
-    fn static_targets_never_rebuild_clusters() {
-        let mut cfg = tiny_cfg(0.5);
-        cfg.target_mobility = crate::TargetMobility::Static;
-        let mut w = World::new(&cfg, 4);
-        w.enable_trace(100_000);
-        let before = w.targets().to_vec();
-        w.run();
-        assert_eq!(w.targets(), &before[..]);
-        // Only the construction-time rebuild appears in the trace.
-        let rebuilds = w
-            .trace()
-            .events()
-            .iter()
-            .filter(|e| matches!(e, crate::TraceEvent::ClustersRebuilt { .. }))
-            .count();
-        assert_eq!(rebuilds, 0, "no mid-run rebuilds for static targets");
-    }
-
-    #[test]
     fn grid_deployment_runs_end_to_end() {
         let mut cfg = tiny_cfg(0.5);
         cfg.deployment = wrsn_geom::Deployment::Grid;
         let out = World::new(&cfg, 3).run();
         assert!(out.total_drained_j > 0.0);
-    }
-
-    #[test]
-    fn self_discharge_accelerates_drain() {
-        let base = tiny_cfg(2.0);
-        let mut leaky = base.clone();
-        leaky.self_discharge_per_day = 0.02;
-        let a = World::new(&base, 8).run();
-        let b = World::new(&leaky, 8).run();
-        assert!(b.total_drained_j > a.total_drained_j);
-    }
-
-    #[test]
-    fn failure_injection_breaks_sensors_permanently() {
-        let mut cfg = tiny_cfg(4.0);
-        cfg.permanent_failures_per_day = 0.05; // 5 % of sensors per day
-        let mut w = World::new(&cfg, 31);
-        let out = w.run();
-        assert!(out.permanent_failures > 0, "failures should have occurred");
-        assert!(w.failures() == out.permanent_failures);
-        // Failed sensors are dead and stay dead.
-        let failed: Vec<_> = (0..cfg.num_sensors)
-            .filter(|&s| w.is_failed(SensorId(s as u32)))
-            .collect();
-        assert_eq!(failed.len() as u64, out.permanent_failures);
-        for s in failed {
-            assert!(w.battery(SensorId(s as u32)).is_depleted());
-        }
-        // The engine stayed consistent despite the faults.
-        assert!(out.rv_energy_shortfall_j < 1.0);
     }
 
     #[test]

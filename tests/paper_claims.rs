@@ -91,10 +91,18 @@ fn greedy_has_the_worst_recharging_cost() {
 #[test]
 fn objective_score_favors_insertion_schemes() {
     // Fig. 7(b): the Eq. (2) objective of the insertion-based schemes beats
-    // greedy (they recharge as much while traveling far less).
-    let greedy = run(8.0, SchedulerKind::Greedy, ActivityConfig::managed(0.6), 10);
+    // greedy (they recharge as much while traveling far less). Needs a
+    // longer horizon than the other shape tests: over the first week the
+    // objective is dominated by the initial-SoC recharge transient, whose
+    // seed noise exceeds the travel-energy advantage.
+    let greedy = run(
+        16.0,
+        SchedulerKind::Greedy,
+        ActivityConfig::managed(0.6),
+        10,
+    );
     let combined = run(
-        8.0,
+        16.0,
         SchedulerKind::Combined,
         ActivityConfig::managed(0.6),
         10,
