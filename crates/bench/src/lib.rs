@@ -106,29 +106,50 @@ pub struct GridPoint {
 pub struct GridResult {
     /// The grid point's label.
     pub label: String,
-    /// Mean of each metric over the seeds.
+    /// Mean of each metric over the seeds that completed.
     pub report: EvalReport,
     /// Standard deviation of the travel-energy metric (0 for one seed) —
     /// a cheap stability indicator for the sweep tables.
     pub travel_std_mj: f64,
+    /// Seeds whose run panicked (empty on a clean sweep). The mean above
+    /// covers the surviving seeds only; a point where *every* seed failed
+    /// reports a zeroed mean.
+    pub failed_seeds: Vec<u64>,
 }
 
 /// Runs every `(grid point, seed)` pair across worker threads and averages
 /// per point. Order of the results matches the input grid, and — because
 /// the batch driver returns outcomes in job order — every per-point seed
 /// sequence is identical whatever the worker count.
+///
+/// The sweep is crash-isolated: a panicking run (bad parameter point) is
+/// reported on stderr and in [`GridResult::failed_seeds`] while every
+/// other run completes normally.
 pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
     let jobs: Vec<(SimConfig, u64)> = grid
         .iter()
         .flat_map(|point| (0..seeds).map(|s| (point.config.clone(), s)))
         .collect();
     let workers = batch::default_workers(jobs.len());
-    let outcomes = batch::run_batch(&jobs, workers);
+    let outcomes = batch::run_batch_fallible(&jobs, workers, None);
 
     grid.into_iter()
         .zip(outcomes.chunks(seeds.max(1) as usize))
         .map(|(point, chunk)| {
-            let rs: Vec<EvalReport> = chunk.iter().map(|o| o.report).collect();
+            let mut rs: Vec<EvalReport> = Vec::new();
+            let mut failed_seeds = Vec::new();
+            for (seed, outcome) in chunk.iter().enumerate() {
+                match outcome {
+                    Ok(o) => rs.push(o.report),
+                    Err(e) => {
+                        failed_seeds.push(seed as u64);
+                        eprintln!(
+                            "warning: grid point '{}' seed {seed} failed: {}",
+                            point.label, e.message
+                        );
+                    }
+                }
+            }
             let mean = mean_report(&rs);
             let travel: Vec<f64> = rs.iter().map(|r| r.travel_energy_mj).collect();
             let travel_std_mj = Summary::of(&travel).map(|s| s.std_dev).unwrap_or(0.0);
@@ -136,6 +157,7 @@ pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
                 label: point.label,
                 report: mean,
                 travel_std_mj,
+                failed_seeds,
             }
         })
         .collect()
@@ -184,6 +206,33 @@ mod tests {
         assert_eq!(results[0].label, "a");
         assert_eq!(results[1].label, "b");
         assert!(results[0].report.coverage_ratio_pct >= 0.0);
+        assert!(results.iter().all(|r| r.failed_seeds.is_empty()));
+    }
+
+    #[test]
+    fn bad_grid_point_does_not_kill_the_sweep() {
+        let mut good = SimConfig::small(0.1);
+        good.num_sensors = 40;
+        good.num_targets = 2;
+        let mut bad = good.clone();
+        bad.tick_s = f64::NAN; // rejected by SimConfig::validate
+        let results = run_grid(
+            vec![
+                GridPoint {
+                    label: "good".into(),
+                    config: good,
+                },
+                GridPoint {
+                    label: "bad".into(),
+                    config: bad,
+                },
+            ],
+            2,
+        );
+        assert_eq!(results.len(), 2, "the sweep must finish");
+        assert!(results[0].failed_seeds.is_empty());
+        assert!(results[0].report.travel_distance_m >= 0.0);
+        assert_eq!(results[1].failed_seeds, vec![0, 1]);
     }
 
     #[test]

@@ -14,12 +14,20 @@ wrsn — joint wireless charging and sensor activity management (ICPP'15)
 USAGE:
   wrsn run      [--days N] [--sensors N] [--targets N] [--rvs N] [--field M]
                 [--scheduler NAME] [--erp K] [--no-rr] [--seed S]
-                [--failures RATE] [--trace FILE]
+                [--failures RATE] [--trace FILE] [fault flags]
   wrsn watch    [same flags as run] [--frames N] [--width COLS] [--fps N]
   wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
+                [fault flags]
   wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
   wrsn analyze  [--sensors N] [--targets N] [--rvs N] [--utilization F]
   wrsn schedulers
+
+Fault flags (chaos engine; every rate defaults to 0 = off):
+  --fault-rv-breakdowns R   RV breakdowns per vehicle per day
+  --fault-rv-repair-s LO:HI repair time range, seconds (default 7200:28800)
+  --fault-uplink-loss P     release/ack loss probability in [0,1)
+  --fault-transients R      transient sensor outages per sensor per day
+  --fault-transient-s LO:HI outage duration range, seconds (default 300:3600)
 
 Defaults follow the paper's Table II (500 sensors, 15 targets, 3 RVs,
 200 m field, 120 days). `--scheduler` names: greedy, insertion,
@@ -63,7 +71,34 @@ fn config_from(args: &Args) -> Result<SimConfig, String> {
         }
     }
     cfg.permanent_failures_per_day = args.num("failures", 0.0)?;
+    cfg.faults.rv_breakdowns_per_day = args.num("fault-rv-breakdowns", 0.0)?;
+    if let Some(r) = args.opt("fault-rv-repair-s") {
+        cfg.faults.rv_repair_s = parse_range("--fault-rv-repair-s", r)?;
+    }
+    cfg.faults.uplink_loss = args.num("fault-uplink-loss", 0.0)?;
+    cfg.faults.transients_per_day = args.num("fault-transients", 0.0)?;
+    if let Some(r) = args.opt("fault-transient-s") {
+        cfg.faults.transient_outage_s = parse_range("--fault-transient-s", r)?;
+    }
     Ok(cfg)
+}
+
+/// Parses a `LO:HI` seconds range (a single value means `LO = HI`).
+fn parse_range(flag: &str, s: &str) -> Result<(f64, f64), String> {
+    let parse = |v: &str| -> Result<f64, String> {
+        v.parse().map_err(|_| format!("{flag}: cannot parse `{v}`"))
+    };
+    let (lo, hi) = match s.split_once(':') {
+        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+        None => {
+            let v = parse(s)?;
+            (v, v)
+        }
+    };
+    if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi) {
+        return Err(format!("{flag}: range must satisfy 0 ≤ lo ≤ hi, got `{s}`"));
+    }
+    Ok((lo, hi))
 }
 
 /// `wrsn run` — one simulation, report to stdout, optional trace CSV.
@@ -104,6 +139,11 @@ pub fn run(args: &Args) -> Result<(), String> {
     println!("alive at end         : {:>12}", out.final_alive);
     if out.permanent_failures > 0 {
         println!("hardware failures    : {:>12}", out.permanent_failures);
+    }
+    if cfg.faults.any_enabled() {
+        println!("RV breakdowns        : {:>12}", out.rv_breakdowns);
+        println!("transient outages    : {:>12}", out.transient_faults);
+        println!("uplink drops         : {:>12}", out.uplink_drops);
     }
 
     if let Some(path) = trace_path {
@@ -184,20 +224,36 @@ pub fn sweep(args: &Args) -> Result<(), String> {
             (cfg, seed)
         })
         .collect();
-    let outcomes = wrsn_sim::batch::run_batch(&jobs, wrsn_sim::batch::default_workers(jobs.len()));
+    // Crash-isolated: one bad point reports its panic and the rest of the
+    // sweep still completes and prints.
+    let outcomes = wrsn_sim::batch::run_batch_fallible(
+        &jobs,
+        wrsn_sim::batch::default_workers(jobs.len()),
+        None,
+    );
+    let mut failed = 0usize;
     for (k, out) in erps.iter().zip(&outcomes) {
-        table.row_f64(
-            &format!("{k:.2}"),
-            &[
-                out.report.travel_energy_mj,
-                out.report.recharged_mj,
-                out.report.coverage_ratio_pct,
-                out.report.nonfunctional_pct,
-            ],
-            3,
-        );
+        match out {
+            Ok(out) => table.row_f64(
+                &format!("{k:.2}"),
+                &[
+                    out.report.travel_energy_mj,
+                    out.report.recharged_mj,
+                    out.report.coverage_ratio_pct,
+                    out.report.nonfunctional_pct,
+                ],
+                3,
+            ),
+            Err(e) => {
+                failed += 1;
+                eprintln!("warning: sweep point ERP={k:.2} failed: {}", e.message);
+            }
+        }
     }
     print!("{}", table.render());
+    if failed > 0 {
+        eprintln!("{failed} of {points} sweep points failed; see warnings above");
+    }
     Ok(())
 }
 
@@ -416,6 +472,41 @@ mod tests {
     #[test]
     fn run_completes_on_tiny_world() {
         let a = args("run --sensors 40 --targets 2 --rvs 1 --field 50 --days 0.2 --seed 3");
+        assert!(run(&a).is_ok());
+    }
+
+    #[test]
+    fn fault_flags_configure_the_chaos_engine() {
+        let a = args(
+            "run --fault-rv-breakdowns 0.5 --fault-rv-repair-s 600:1200 \
+             --fault-uplink-loss 0.2 --fault-transients 1.5 --fault-transient-s 300",
+        );
+        let cfg = config_from(&a).unwrap();
+        assert_eq!(cfg.faults.rv_breakdowns_per_day, 0.5);
+        assert_eq!(cfg.faults.rv_repair_s, (600.0, 1200.0));
+        assert_eq!(cfg.faults.uplink_loss, 0.2);
+        assert_eq!(cfg.faults.transients_per_day, 1.5);
+        assert_eq!(cfg.faults.transient_outage_s, (300.0, 300.0));
+        // And without the flags everything stays off.
+        let plain = config_from(&args("run")).unwrap();
+        assert!(!plain.faults.any_enabled());
+    }
+
+    #[test]
+    fn inverted_fault_range_is_rejected() {
+        let a = args("run --fault-rv-repair-s 1200:600");
+        assert!(config_from(&a).is_err());
+        let a = args("run --fault-transient-s nope");
+        assert!(config_from(&a).is_err());
+    }
+
+    #[test]
+    fn chaos_run_completes_on_tiny_world() {
+        let a = args(
+            "run --sensors 40 --targets 2 --rvs 1 --field 50 --days 1 --seed 3 \
+             --fault-rv-breakdowns 4 --fault-rv-repair-s 600:1800 \
+             --fault-uplink-loss 0.3 --fault-transients 2",
+        );
         assert!(run(&a).is_ok());
     }
 

@@ -186,6 +186,8 @@ tuple_strategy!(A, B, C, D, E, F, G);
 tuple_strategy!(A, B, C, D, E, F, G, H);
 tuple_strategy!(A, B, C, D, E, F, G, H, I);
 tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
 
 /// A `Vec` of strategies generates element-wise — upstream proptest's
 /// `Vec<S>: Strategy` impl.

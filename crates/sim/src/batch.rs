@@ -1,4 +1,4 @@
-//! Deterministic parallel execution of simulation batches.
+//! Deterministic, crash-isolated parallel execution of simulation batches.
 //!
 //! Every experiment in the workspace — figure regeneration, ablations,
 //! robustness sweeps, CLI parameter scans — reduces to the same shape:
@@ -13,13 +13,21 @@
 //!   balancing — long jobs don't stall a fixed-stripe partner);
 //! * outcomes land in a pre-sized slot table guarded by a [`Mutex`], so
 //!   the returned `Vec` is ordered by job index, never by completion
-//!   time.
+//!   time;
+//! * every job runs under [`std::panic::catch_unwind`], so one panicking
+//!   job cannot poison the slot-table mutex or take the other jobs down
+//!   with it — a 500-point sweep with one bad point reports that point
+//!   and finishes the other 499.
 //!
-//! [`par_map`] is the policy-free core (any `index → T` function);
-//! [`run_batch`] and [`Batch`] are the simulation-facing wrappers.
+//! [`par_try_map`] is the policy-free crash-isolated core (any
+//! `index → T` function); [`par_map`] is its panic-propagating
+//! counterpart; [`run_batch`], [`run_batch_fallible`] and [`Batch`] are
+//! the simulation-facing wrappers.
 
 use crate::{SimConfig, SimOutcome, World};
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -33,13 +41,44 @@ pub fn default_workers(jobs: usize) -> NonZeroUsize {
     NonZeroUsize::new(hw.min(jobs).max(1)).expect("max(1) is non-zero")
 }
 
-/// Evaluates `f(0..n)` on `workers` threads and returns the results
-/// ordered by index — a deterministic parallel map.
-///
-/// `f` runs once per index, on an unspecified thread; determinism of the
-/// *output* only requires `f` itself to be a pure function of its index.
-/// Panics in `f` propagate (the scope joins all workers first).
-pub fn par_map<T, F>(n: usize, workers: NonZeroUsize, f: F) -> Vec<T>
+/// One job of a batch panicked. Carries the job's index in the input
+/// list and the panic payload rendered as text (the original
+/// `panic!("…")` message for the common string payloads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the panicking job in the input list.
+    pub index: usize,
+    /// The panic payload as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a panic payload as text: the `&str` / `String` payloads every
+/// `panic!` and failed assertion produce come through verbatim.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A job's value or the boxed panic payload `catch_unwind` captured.
+type JobResult<T> = Result<T, Box<dyn Any + Send>>;
+
+/// The crash-isolated core: evaluates `f(0..n)` on `workers` threads,
+/// catching each job's panic individually. Slot stores happen outside any
+/// unwinding path, so the table mutex can never be poisoned.
+fn par_map_impl<T, F>(n: usize, workers: NonZeroUsize, f: F) -> Vec<JobResult<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -51,10 +90,12 @@ where
     if workers == 1 {
         // Serial fast path: no threads, no locks — and the reference
         // behaviour the parallel path must reproduce exactly.
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| catch_unwind(AssertUnwindSafe(|| f(i))))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<JobResult<T>>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -62,26 +103,103 @@ where
                 if i >= n {
                     return;
                 }
-                let value = f(i);
-                slots.lock().expect("batch slot table poisoned")[i] = Some(value);
+                let value = catch_unwind(AssertUnwindSafe(|| f(i)));
+                slots.lock().expect("no panic can cross this lock")[i] = Some(value);
             });
         }
     });
     slots
         .into_inner()
-        .expect("batch slot table poisoned")
+        .expect("no panic can cross this lock")
         .into_iter()
         .map(|slot| slot.expect("every index below n was claimed exactly once"))
         .collect()
 }
 
+/// Evaluates `f(0..n)` on `workers` threads and returns the results
+/// ordered by index, with each job's panic caught and reported as a
+/// [`JobPanic`] in that job's slot — the other jobs always complete.
+///
+/// `f` runs once per index, on an unspecified thread; determinism of the
+/// *output* only requires `f` itself to be a pure function of its index.
+pub fn par_try_map<T, F>(n: usize, workers: NonZeroUsize, f: F) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_impl(n, workers, f)
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| {
+            r.map_err(|payload| JobPanic {
+                index,
+                message: panic_message(payload.as_ref()),
+            })
+        })
+        .collect()
+}
+
+/// Evaluates `f(0..n)` on `workers` threads and returns the results
+/// ordered by index — a deterministic parallel map.
+///
+/// A panic in `f` is re-raised with its original payload after every job
+/// has finished (lowest panicking index wins); use [`par_try_map`] to
+/// collect panics per job instead.
+pub fn par_map<T, F>(n: usize, workers: NonZeroUsize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(n);
+    for result in par_map_impl(n, workers, f) {
+        match result {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Runs one `(config, seed)` job, stopping early at `sim_time_cap_s` of
+/// simulated time when given (the outcome is the usual mid-run snapshot).
+fn run_one(cfg: &SimConfig, seed: u64, sim_time_cap_s: Option<f64>) -> SimOutcome {
+    match sim_time_cap_s {
+        None => World::new(cfg, seed).run(),
+        Some(cap) => {
+            let mut w = World::new(cfg, seed);
+            while !w.finished() && w.time() < cap {
+                w.step();
+            }
+            w.outcome()
+        }
+    }
+}
+
 /// Runs every `(config, seed)` job and returns the outcomes in job order.
 /// The result is independent of `workers`: `run_batch(jobs, 1)` and
-/// `run_batch(jobs, 32)` are byte-identical.
+/// `run_batch(jobs, 32)` are byte-identical. A panicking job (e.g. an
+/// invalid config) is re-raised after the batch completes; use
+/// [`run_batch_fallible`] to keep the surviving outcomes instead.
 pub fn run_batch(jobs: &[(SimConfig, u64)], workers: NonZeroUsize) -> Vec<SimOutcome> {
     par_map(jobs.len(), workers, |i| {
         let (cfg, seed) = &jobs[i];
-        World::new(cfg, *seed).run()
+        run_one(cfg, *seed, None)
+    })
+}
+
+/// Crash-isolated [`run_batch`]: each job's outcome or its [`JobPanic`],
+/// in job order. One bad parameter point in a 500-job sweep yields one
+/// `Err` carrying the panic message — the other 499 outcomes are intact.
+/// `sim_time_cap_s` optionally stops every job at that much simulated
+/// time.
+pub fn run_batch_fallible(
+    jobs: &[(SimConfig, u64)],
+    workers: NonZeroUsize,
+    sim_time_cap_s: Option<f64>,
+) -> Vec<Result<SimOutcome, JobPanic>> {
+    par_try_map(jobs.len(), workers, |i| {
+        let (cfg, seed) = &jobs[i];
+        run_one(cfg, *seed, sim_time_cap_s)
     })
 }
 
@@ -101,6 +219,7 @@ pub fn run_batch(jobs: &[(SimConfig, u64)], workers: NonZeroUsize) -> Vec<SimOut
 pub struct Batch {
     jobs: Vec<(SimConfig, u64)>,
     workers: Option<NonZeroUsize>,
+    sim_time_cap_s: Option<f64>,
 }
 
 impl Batch {
@@ -129,6 +248,14 @@ impl Batch {
         self
     }
 
+    /// Stops every job after `cap_s` of *simulated* time (a runaway guard
+    /// for sweeps over untrusted parameter grids). Outcomes become
+    /// mid-run snapshots when the cap is shorter than the duration.
+    pub fn sim_time_cap_s(mut self, cap_s: f64) -> Self {
+        self.sim_time_cap_s = Some(cap_s);
+        self
+    }
+
     /// Number of queued jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -139,12 +266,27 @@ impl Batch {
         self.jobs.is_empty()
     }
 
-    /// Runs all jobs; outcomes are ordered like the `push` calls.
+    fn resolved_workers(&self) -> NonZeroUsize {
+        self.workers
+            .unwrap_or_else(|| default_workers(self.jobs.len()))
+    }
+
+    /// Runs all jobs; outcomes are ordered like the `push` calls. A
+    /// panicking job is re-raised after the batch completes (see
+    /// [`Batch::try_run`] for crash isolation).
     pub fn run(self) -> Vec<SimOutcome> {
-        let workers = self
-            .workers
-            .unwrap_or_else(|| default_workers(self.jobs.len()));
-        run_batch(&self.jobs, workers)
+        let workers = self.resolved_workers();
+        par_map(self.jobs.len(), workers, |i| {
+            let (cfg, seed) = &self.jobs[i];
+            run_one(cfg, *seed, self.sim_time_cap_s)
+        })
+    }
+
+    /// Crash-isolated [`Batch::run`]: per-job outcome or [`JobPanic`], in
+    /// push order.
+    pub fn try_run(self) -> Vec<Result<SimOutcome, JobPanic>> {
+        let workers = self.resolved_workers();
+        run_batch_fallible(&self.jobs, workers, self.sim_time_cap_s)
     }
 }
 
@@ -175,6 +317,82 @@ mod tests {
     fn par_map_handles_empty_input() {
         let out: Vec<u32> = par_map(0, NonZeroUsize::new(8).unwrap(), |_| unreachable!());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn one_panicking_job_does_not_poison_the_batch() {
+        // The ISSUE's crash-isolation criterion: every other job's result
+        // survives, the bad index carries the original panic message.
+        for workers in [1, 4] {
+            let out = par_try_map(10, NonZeroUsize::new(workers).unwrap(), |i| {
+                if i == 3 {
+                    panic!("bad parameter point {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 10);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, 3);
+                    assert_eq!(err.message, "bad parameter point 3");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_the_lowest_panic_with_its_payload() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(8, NonZeroUsize::new(4).unwrap(), |i| {
+                if i >= 5 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        // Lowest panicking index wins deterministically, original payload
+        // intact.
+        assert_eq!(panic_message(caught.as_ref()), "boom at 5");
+    }
+
+    #[test]
+    fn fallible_batch_finishes_around_a_bad_config() {
+        let good = tiny(0.1, SchedulerKind::Greedy);
+        let mut bad = good.clone();
+        bad.tick_s = f64::NAN; // rejected by SimConfig::validate
+        let jobs = vec![(good.clone(), 1), (bad, 2), (good.clone(), 3)];
+        let out = run_batch_fallible(&jobs, NonZeroUsize::new(2).unwrap(), None);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(
+            err.message.contains("finite"),
+            "panic message lost: {}",
+            err.message
+        );
+        // The surviving outcomes match standalone runs exactly.
+        let solo = World::new(&good, 3).run();
+        assert_eq!(out[2].as_ref().unwrap().report, solo.report);
+    }
+
+    #[test]
+    fn sim_time_cap_stops_jobs_early() {
+        let cfg = tiny(0.5, SchedulerKind::Greedy);
+        let full = Batch::new().push(&cfg, 7).run();
+        let capped = Batch::new()
+            .push(&cfg, 7)
+            .sim_time_cap_s(cfg.duration_s / 4.0)
+            .try_run();
+        let capped = capped[0].as_ref().unwrap();
+        assert!(
+            capped.total_drained_j < full[0].total_drained_j,
+            "capped run should stop early"
+        );
     }
 
     #[test]

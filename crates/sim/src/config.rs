@@ -60,6 +60,114 @@ impl ActivityConfig {
     }
 }
 
+/// Pluggable fault-injection plan (the chaos engine's configuration).
+///
+/// Three independent fault classes, each disabled at rate/probability 0
+/// (the default). The engine draws from the shared RNG **only when a
+/// class is enabled**, so a config with every rate at zero takes the
+/// exact same random draws as one that predates the chaos engine —
+/// zero-fault runs are byte-identical, which the regression tests pin.
+///
+/// * **RV breakdowns** — a vehicle fails mid-tour (Poisson per RV),
+///   returns its remaining stops to the request board, and sits in
+///   [`crate::RvPhase::Broken`] for a sampled repair time while the
+///   dispatcher replans around the shrunken fleet.
+/// * **Lossy request uplink** — the §III-B release/ack exchange between a
+///   request group and the base station drops with probability
+///   [`uplink_loss`](Self::uplink_loss); the cluster retransmits with
+///   capped exponential backoff (the paper's notification/ack protocol
+///   under loss).
+/// * **Transient sensor faults** — recoverable outages (reboot, radio
+///   wedge) that suspend a sensor for a sampled duration without touching
+///   its battery, exercising the rota-failover and routing-revival paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Expected breakdowns per RV per day (Poisson). 0 disables.
+    pub rv_breakdowns_per_day: f64,
+    /// Repair-duration range `(lo, hi)` in seconds, sampled uniformly per
+    /// breakdown.
+    pub rv_repair_s: (f64, f64),
+    /// Probability that one release/ack uplink exchange is lost. Must be
+    /// `< 1` (at 1 no request would ever get through). 0 disables.
+    pub uplink_loss: f64,
+    /// Initial retransmit backoff (s); doubles per consecutive loss.
+    pub uplink_backoff_s: f64,
+    /// Backoff cap (s) for the exponential retransmit schedule.
+    pub uplink_backoff_cap_s: f64,
+    /// Expected transient outages per sensor per day (Poisson). 0 disables.
+    pub transients_per_day: f64,
+    /// Outage-duration range `(lo, hi)` in seconds, sampled uniformly per
+    /// transient fault.
+    pub transient_outage_s: (f64, f64),
+}
+
+impl FaultConfig {
+    /// No faults at all — the default, and the paper's environment.
+    /// Duration/backoff knobs keep sensible values so enabling a rate is
+    /// a one-field change.
+    pub fn none() -> Self {
+        Self {
+            rv_breakdowns_per_day: 0.0,
+            rv_repair_s: (units::hours(2.0), units::hours(8.0)),
+            uplink_loss: 0.0,
+            uplink_backoff_s: 60.0,
+            uplink_backoff_cap_s: units::hours(1.0),
+            transients_per_day: 0.0,
+            transient_outage_s: (units::minutes(5.0), units::hours(1.0)),
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.rv_breakdowns_per_day > 0.0 || self.uplink_loss > 0.0 || self.transients_per_day > 0.0
+    }
+
+    /// Sanity checks, called from [`SimConfig::validate`].
+    ///
+    /// # Panics
+    /// Panics with a description on the first violated constraint.
+    pub fn validate(&self) {
+        let finite_nonneg = |v: f64, name: &str| {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and ≥ 0, got {v}"
+            );
+        };
+        finite_nonneg(self.rv_breakdowns_per_day, "RV breakdown rate");
+        finite_nonneg(self.transients_per_day, "transient fault rate");
+        assert!(
+            self.uplink_loss.is_finite() && (0.0..1.0).contains(&self.uplink_loss),
+            "uplink loss must be in [0, 1), got {}",
+            self.uplink_loss
+        );
+        for (range, name) in [
+            (self.rv_repair_s, "RV repair time"),
+            (self.transient_outage_s, "transient outage"),
+        ] {
+            let (lo, hi) = range;
+            assert!(
+                lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+                "{name} range must satisfy 0 ≤ lo ≤ hi, got ({lo}, {hi})"
+            );
+        }
+        assert!(
+            self.uplink_backoff_s.is_finite() && self.uplink_backoff_s > 0.0,
+            "uplink backoff must be positive"
+        );
+        assert!(
+            self.uplink_backoff_cap_s.is_finite()
+                && self.uplink_backoff_cap_s >= self.uplink_backoff_s,
+            "backoff cap must be ≥ the initial backoff"
+        );
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Full simulation configuration. [`SimConfig::paper_defaults`] matches the
 /// paper's Table II; every knob is public so experiments can sweep it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -125,6 +233,9 @@ pub struct SimConfig {
     pub activity: ActivityConfig,
     /// Recharge scheduling scheme.
     pub scheduler: SchedulerKind,
+    /// Chaos-engine fault plan ([`FaultConfig::none`] by default — the
+    /// paper's fault-free environment).
+    pub faults: FaultConfig,
     /// Round-robin slot length in seconds.
     pub slot_s: f64,
     /// Engine tick in seconds (energy integration step).
@@ -175,6 +286,7 @@ impl SimConfig {
             base_charge_power_w: 200.0,
             activity: ActivityConfig::managed(0.6),
             scheduler: SchedulerKind::Combined,
+            faults: FaultConfig::none(),
             slot_s: units::minutes(10.0),
             tick_s: 60.0,
             replan_cooldown_s: units::minutes(10.0),
@@ -204,6 +316,42 @@ impl SimConfig {
     /// Panics with a description on the first violated constraint.
     pub fn validate(&self) {
         assert!(self.num_sensors > 0, "need at least one sensor");
+        // A NaN passes every `>`/`<=` comparison assert below (all
+        // comparisons with NaN are false, so `assert!(x > 0.0)` fires but
+        // `assert!(a <= b)`-style guards don't compose safely) and would
+        // produce a silently hung or garbage run — reject non-finite
+        // values up front, before the range checks.
+        for (v, name) in [
+            (self.field_side, "field side"),
+            (self.comm_range, "comm range"),
+            (self.sensing_range, "sensing range"),
+            (self.duration_s, "duration"),
+            (self.target_period_s, "target period"),
+            (self.recharge_threshold_frac, "recharge threshold"),
+            (self.critical_soc, "critical SoC"),
+            (self.data_rate_pps, "data rate"),
+            (self.watch_duty, "watch duty"),
+            (self.battery_capacity_j, "battery capacity"),
+            (self.permanent_failures_per_day, "failure rate"),
+            (self.self_discharge_per_day, "self-discharge rate"),
+            (self.base_charge_power_w, "base charge power"),
+            (self.slot_s, "slot length"),
+            (self.tick_s, "tick"),
+            (self.replan_cooldown_s, "replan cooldown"),
+            (self.min_batch_demand_j, "batch demand"),
+            (self.max_request_age_s, "max request age"),
+            (self.sample_every_s, "sample interval"),
+        ] {
+            assert!(v.is_finite(), "{name} must be finite, got {v}");
+        }
+        assert!(
+            self.battery_capacity_j > 0.0,
+            "battery capacity must be positive"
+        );
+        assert!(
+            self.permanent_failures_per_day >= 0.0 && self.self_discharge_per_day >= 0.0,
+            "failure and self-discharge rates must be non-negative"
+        );
         // num_rvs == 0 is allowed: the no-recharging baseline that
         // motivates WRSNs in the first place.
         assert!(self.field_side > 0.0, "field must be non-degenerate");
@@ -232,6 +380,7 @@ impl SimConfig {
             "tick must divide into slots"
         );
         assert!(self.duration_s > 0.0, "duration must be positive");
+        self.faults.validate();
     }
 }
 
@@ -278,6 +427,73 @@ mod tests {
     fn invalid_erp_rejected() {
         let mut c = SimConfig::paper_defaults();
         c.activity.erp = Some(2.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be finite")]
+    fn nan_tick_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.tick_s = f64::NAN;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be finite")]
+    fn infinite_duration_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.duration_s = f64::INFINITY;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "battery capacity must be finite")]
+    fn nan_battery_capacity_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.battery_capacity_j = f64::NAN;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate must be finite")]
+    fn nan_failure_rate_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.permanent_failures_per_day = f64::NAN;
+        c.validate();
+    }
+
+    #[test]
+    fn default_faults_are_disabled_and_valid() {
+        let f = FaultConfig::none();
+        assert!(!f.any_enabled());
+        f.validate();
+        let mut on = f;
+        on.uplink_loss = 0.3;
+        assert!(on.any_enabled());
+        on.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "uplink loss must be in [0, 1)")]
+    fn certain_uplink_loss_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.faults.uplink_loss = 1.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "RV repair time range")]
+    fn inverted_repair_range_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.faults.rv_repair_s = (100.0, 10.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "transient fault rate must be finite")]
+    fn nan_transient_rate_rejected() {
+        let mut c = SimConfig::paper_defaults();
+        c.faults.transients_per_day = f64::NAN;
         c.validate();
     }
 

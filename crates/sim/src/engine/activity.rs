@@ -18,8 +18,9 @@ pub(crate) fn advance_slots(state: &mut WorldState) {
     if state.t >= state.next_slot {
         state.next_slot = state.t + state.cfg.slot_s;
         let batteries = &state.batteries;
+        let suspended = &state.suspended;
         for rota in &mut state.rotas {
-            rota.advance(|s| !batteries[s.index()].is_depleted());
+            rota.advance(|s| !batteries[s.index()].is_depleted() && !suspended[s.index()]);
         }
         state.routing_dirty = true;
     }
@@ -30,8 +31,10 @@ pub(crate) fn advance_slots(state: &mut WorldState) {
 pub(crate) fn refresh_routing(state: &mut WorldState) {
     state.active.iter_mut().for_each(|a| *a = false);
     state.dormant.iter_mut().for_each(|d| *d = false);
+    let batteries_ref = &state.batteries;
+    let suspended_ref = &state.suspended;
+    let alive = |s: SensorId| !batteries_ref[s.index()].is_depleted() && !suspended_ref[s.index()];
     for (ci, cluster) in state.clusters.iter() {
-        let alive = |s: SensorId| !state.batteries[s.index()].is_depleted();
         if state.cfg.activity.round_robin {
             // Off-duty members sleep entirely; the rota holder monitors.
             for &m in &cluster.members {
@@ -50,8 +53,9 @@ pub(crate) fn refresh_routing(state: &mut WorldState) {
         }
     }
     let batteries = &state.batteries;
+    let suspended = &state.suspended;
     let tree = RoutingTree::toward_enabled(&state.graph, 0, |v| {
-        v == 0 || !batteries[v - 1].is_depleted()
+        v == 0 || (!batteries[v - 1].is_depleted() && !suspended[v - 1])
     });
     let mut gen = vec![0.0; state.graph.len()];
     for s in 0..state.cfg.num_sensors {

@@ -7,7 +7,7 @@
 //! released demand to the configured [`RechargePolicy`] to turn into RV
 //! routes.
 
-use super::WorldState;
+use super::{faults, WorldState};
 use wrsn_core::{ClusterId, RechargeRequest, RvState, ScheduleInput, SensorId};
 
 /// Updates the request board from current battery states: recoveries
@@ -46,13 +46,32 @@ pub(crate) fn manage_requests(state: &mut WorldState) {
         let id = SensorId(s as u32);
         let soc = state.batteries[s].soc();
         if soc < thr {
+            if state.suspended[s] {
+                // A transiently-down sensor cannot transmit; its request
+                // waits for the outage to end. (Depletion is different:
+                // the base station notices the lost heartbeat itself.)
+                continue;
+            }
             state.board.mark_pending(id);
             if state.batteries[s].is_depleted() {
+                // Base-station-side detection, no uplink involved: a
+                // dead node is released directly even under a lossy
+                // uplink.
                 state.board.release(id, state.t);
             } else if state.board.is_pending(id) {
                 match state.group_of[s] {
                     Some(gid) => dirty_groups.push(gid),
-                    None => state.board.release(id, state.t),
+                    None => {
+                        faults::uplink_release(
+                            &state.cfg.faults,
+                            &mut state.rng,
+                            &mut state.board,
+                            &mut state.trace,
+                            &mut state.uplink_drops,
+                            state.t,
+                            id,
+                        );
+                    }
                 }
             }
         }
@@ -71,10 +90,21 @@ pub(crate) fn manage_requests(state: &mut WorldState) {
             .filter(|m| state.batteries[m.index()].soc() < thr)
             .count();
         if state.erp.should_release(below, members.len()) {
-            for m in 0..members.len() {
+            for m in 0..len as usize {
                 let member = state.group_arena[start as usize + m];
-                if state.batteries[member.index()].soc() < thr && !state.failed[member.index()] {
-                    state.board.release(member, state.t);
+                if state.batteries[member.index()].soc() < thr
+                    && !state.failed[member.index()]
+                    && !state.suspended[member.index()]
+                {
+                    faults::uplink_release(
+                        &state.cfg.faults,
+                        &mut state.rng,
+                        &mut state.board,
+                        &mut state.trace,
+                        &mut state.uplink_drops,
+                        state.t,
+                        member,
+                    );
                 }
             }
         }
@@ -102,7 +132,15 @@ pub(crate) fn should_plan(state: &mut WorldState) -> bool {
     }
     if demand <= 0.0 {
         state.dispatching = false;
+        state.replan_urgent = false;
         return false;
+    }
+    if state.replan_urgent {
+        // A fault (RV breakdown) forcibly returned assigned requests to
+        // the board; they already earned a dispatch once, so skip the
+        // batch hysteresis and replan around the shrunken fleet now.
+        state.dispatching = true;
+        state.replan_urgent = false;
     }
     if !state.dispatching
         && (critical

@@ -26,8 +26,11 @@ pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
             state.failed[s] = true;
             state.failures += 1;
             let level = state.batteries[s].level();
-            state.batteries[s].draw(level);
+            state.failure_lost_j += state.batteries[s].draw(level);
             state.was_depleted[s] = true;
+            // A permanent fault supersedes any transient outage.
+            state.suspended[s] = false;
+            state.suspend_until[s] = f64::NAN;
             state.board.clear(id);
             state.routing_dirty = true;
             state.trace.push(crate::TraceEvent::SensorFailed {
@@ -42,7 +45,10 @@ pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
 pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
     let profile = &state.cfg.sensor_profile;
     for s in 0..state.cfg.num_sensors {
-        if state.batteries[s].is_depleted() {
+        if state.batteries[s].is_depleted() || state.suspended[s] {
+            // Suspended sensors are powered down for the outage: they
+            // neither sense nor relay, and their battery holds its level
+            // (self-discharge during an outage is ignored).
             continue;
         }
         let load = state.loads[s + 1];

@@ -36,6 +36,7 @@ fn travel(state: &mut WorldState, i: usize, goal: Point2, budget: f64) -> (f64, 
     rv.distance_traveled_m += d;
     let energy = state.cfg.rv_model.travel_energy(d);
     let got = rv.battery.draw(energy);
+    state.rv_drawn_j += got;
     state.rv_shortfall_j += energy - got;
     state.metrics.record_travel(d, energy);
     (if arrived { dist / speed } else { budget }, arrived)
@@ -106,6 +107,7 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 state.metrics.record_recharge_energy(delivered);
                 let src = delivered / eff;
                 let got = state.rvs[i].battery.draw(src);
+                state.rv_drawn_j += got;
                 state.rv_shortfall_j += src - got;
                 if state.was_depleted[s.index()] && !state.batteries[s.index()].is_depleted() {
                     state.was_depleted[s.index()] = false;
@@ -138,11 +140,18 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 }
                 let use_t = budget.min(t_full);
                 state.rvs[i].phase_time_s[3] += use_t;
-                state.rvs[i].battery.charge_for(power, use_t);
+                let stored = state.rvs[i].battery.charge_for(power, use_t);
+                state.rv_input_j += stored;
                 budget -= use_t;
                 if use_t >= t_full - 1e-9 {
                     state.rvs[i].phase = RvPhase::Idle;
                 }
+            }
+            RvPhase::Broken { .. } => {
+                // Stuck in the field until the chaos engine's repair
+                // phase (which runs before fleet stepping) releases it.
+                state.rvs[i].phase_time_s[4] += budget;
+                break;
             }
         }
     }
@@ -164,6 +173,29 @@ fn abandon_if_exhausted(state: &mut WorldState, i: usize) -> bool {
     true
 }
 
+/// Advances RV `i` past stop `s` and retargets the phase at the new
+/// route head. The head is expected to be `s` (debug-asserted); if a bug
+/// ever desynchronizes phase and route in a release build, `s` is removed
+/// from wherever it actually sits instead of silently dropping whichever
+/// innocent stop happens to be at the front.
+fn advance_route(state: &mut WorldState, i: usize, s: SensorId) {
+    let rv = &mut state.rvs[i];
+    debug_assert_eq!(
+        rv.route.front(),
+        Some(&s),
+        "RV advancing past an unexpected stop"
+    );
+    if rv.route.front() == Some(&s) {
+        rv.route.pop_front();
+    } else if let Some(pos) = rv.route.iter().position(|&x| x == s) {
+        rv.route.remove(pos);
+    }
+    rv.phase = match rv.route.front() {
+        Some(&next) => RvPhase::ToStop(next),
+        None => RvPhase::Idle,
+    };
+}
+
 /// Drops stop `s` from RV `i`'s route when the sensor has permanently
 /// failed (there is nothing left to charge). Returns `true` when the
 /// stop was skipped.
@@ -171,13 +203,7 @@ fn skip_if_failed(state: &mut WorldState, i: usize, s: SensorId) -> bool {
     if !state.failed[s.index()] {
         return false;
     }
-    let rv = &mut state.rvs[i];
-    debug_assert_eq!(rv.route.front(), Some(&s), "RV skipping an unexpected stop");
-    rv.route.pop_front();
-    rv.phase = match rv.route.front() {
-        Some(&next) => RvPhase::ToStop(next),
-        None => RvPhase::Idle,
-    };
+    advance_route(state, i, s);
     true
 }
 
@@ -191,17 +217,7 @@ fn finish_service(state: &mut WorldState, i: usize, s: SensorId) {
         sensor: s,
     });
     state.board.clear(s);
-    let rv = &mut state.rvs[i];
-    debug_assert_eq!(
-        rv.route.front(),
-        Some(&s),
-        "RV finishing an unexpected stop"
-    );
-    rv.route.pop_front();
-    rv.phase = match rv.route.front() {
-        Some(&next) => RvPhase::ToStop(next),
-        None => RvPhase::Idle,
-    };
+    advance_route(state, i, s);
 }
 
 #[cfg(test)]

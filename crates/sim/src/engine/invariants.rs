@@ -1,0 +1,199 @@
+//! Whole-state consistency checker for the engine.
+//!
+//! [`check`] audits the cross-subsystem invariants no single phase can
+//! guarantee alone: energy conservation on both the sensor and the fleet
+//! side, request-board ↔ route ↔ phase agreement, and the fault ledgers.
+//! [`crate::World::step`] runs it after every tick in debug builds (so
+//! every unit/property test sweeps it across every configuration it
+//! touches), the chaos property tests assert it explicitly, and
+//! [`crate::World::check_invariants`] exposes it for release-mode tests.
+
+use super::WorldState;
+use crate::RvPhase;
+use wrsn_core::SensorId;
+
+/// Relative tolerance for the conservation sums: f64 accumulation over
+/// millions of draw/charge events loses at most ~1 ulp per event.
+const REL_EPS: f64 = 1e-6;
+
+/// Verifies every engine invariant; returns a description of the first
+/// violation.
+pub(crate) fn check(state: &WorldState) -> Result<(), String> {
+    let n = state.cfg.num_sensors;
+
+    // --- Per-sensor state machine --------------------------------------
+    for s in 0..n {
+        let b = &state.batteries[s];
+        if !(b.level().is_finite() && (0.0..=b.capacity() + 1e-9).contains(&b.level())) {
+            return Err(format!(
+                "sensor {s} battery out of bounds: {} of {}",
+                b.level(),
+                b.capacity()
+            ));
+        }
+        if state.failed[s] && !b.is_depleted() {
+            return Err(format!("failed sensor {s} still holds charge"));
+        }
+        if state.suspended[s] && !state.suspend_until[s].is_finite() {
+            return Err(format!("suspended sensor {s} has no repair time"));
+        }
+        if !state.suspended[s] && !state.suspend_until[s].is_nan() {
+            return Err(format!("sensor {s} has a stale suspension timer"));
+        }
+        let id = SensorId(s as u32);
+        if state.board.is_assigned(id) && !state.board.is_released(id) {
+            return Err(format!("sensor {s} assigned but never released"));
+        }
+        if state.board.uplink_attempts(id) > 0 {
+            if state.board.is_released(id) {
+                return Err(format!("sensor {s} released with a retry pending"));
+            }
+            if !state.board.retry_time(id).is_finite() {
+                return Err(format!(
+                    "sensor {s} lost its uplink but has no retransmit scheduled"
+                ));
+            }
+        }
+    }
+
+    // --- Fleet phase machine vs. routes vs. board ----------------------
+    let mut route_count = vec![0u32; n];
+    for rv in &state.rvs {
+        match rv.phase {
+            RvPhase::ToStop(s) | RvPhase::Charging(s) => {
+                if rv.route.front() != Some(&s) {
+                    return Err(format!(
+                        "{} phase targets {s} but route head is {:?}",
+                        rv.id,
+                        rv.route.front()
+                    ));
+                }
+            }
+            RvPhase::Idle | RvPhase::ToBase | RvPhase::SelfCharging | RvPhase::Broken { .. } => {
+                if !rv.route.is_empty() {
+                    return Err(format!(
+                        "{} holds {} stops in a routeless phase {:?}",
+                        rv.id,
+                        rv.route.len(),
+                        rv.phase
+                    ));
+                }
+            }
+        }
+        for &s in &rv.route {
+            route_count[s.index()] += 1;
+            // A routed stop is claimed on the board, except a sensor that
+            // permanently failed after planning (the fleet skips it on
+            // arrival).
+            if !state.board.is_assigned(s) && !state.failed[s.index()] {
+                return Err(format!("{} routes unclaimed sensor {s}", rv.id));
+            }
+        }
+        let b = &rv.battery;
+        if !(b.level().is_finite() && (0.0..=b.capacity() + 1e-9).contains(&b.level())) {
+            return Err(format!("{} battery out of bounds: {}", rv.id, b.level()));
+        }
+    }
+    for (s, &count) in route_count.iter().enumerate() {
+        if count > 1 {
+            return Err(format!(
+                "sensor {s} appears in {count} route slots (double assignment)"
+            ));
+        }
+    }
+
+    // --- Fault ledgers --------------------------------------------------
+    let failed_now = state.failed.iter().filter(|&&f| f).count() as u64;
+    if state.failures != failed_now {
+        return Err(format!(
+            "failure ledger {} disagrees with {} failed sensors",
+            state.failures, failed_now
+        ));
+    }
+    let depleted_now = state.was_depleted.iter().filter(|&&d| d).count() as u64;
+    if state.deaths + state.failures < depleted_now {
+        return Err(format!(
+            "{} sensors are down but only {} deaths + {} failures were recorded",
+            depleted_now, state.deaths, state.failures
+        ));
+    }
+
+    // --- Energy conservation -------------------------------------------
+    // Sensors: stored(t) = stored(0) − drained − lost-to-hw-failure
+    //          + delivered-by-RVs.
+    let stored: f64 = state.batteries.iter().map(|b| b.level()).sum();
+    let expected = state.initial_sensor_j - state.total_drained_j - state.failure_lost_j
+        + state.total_delivered_j;
+    let scale = 1.0
+        + state.initial_sensor_j
+        + state.total_drained_j
+        + state.total_delivered_j
+        + state.failure_lost_j;
+    if (stored - expected).abs() > REL_EPS * scale {
+        return Err(format!(
+            "sensor energy not conserved: stored {stored} J vs expected {expected} J"
+        ));
+    }
+    // Fleet: stored(t) = stored(0) + base-station input − drawn (travel +
+    // transfer source energy actually supplied).
+    let fleet: f64 = state.rvs.iter().map(|rv| rv.battery.level()).sum();
+    let fleet_expected = state.initial_fleet_j + state.rv_input_j - state.rv_drawn_j;
+    let fleet_scale = 1.0 + state.initial_fleet_j + state.rv_input_j + state.rv_drawn_j;
+    if (fleet - fleet_expected).abs() > REL_EPS * fleet_scale {
+        return Err(format!(
+            "fleet energy not conserved: stored {fleet} J vs expected {fleet_expected} J"
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorldState;
+    use crate::SimConfig;
+
+    fn tiny_state() -> WorldState {
+        let mut cfg = SimConfig::small(1.0);
+        cfg.num_sensors = 40;
+        cfg.num_targets = 2;
+        cfg.num_rvs = 2;
+        cfg.field_side = 50.0;
+        WorldState::new(&cfg, 7)
+    }
+
+    #[test]
+    fn fresh_state_passes() {
+        let state = tiny_state();
+        check(&state).unwrap();
+    }
+
+    #[test]
+    fn corrupted_energy_ledger_is_caught() {
+        let mut state = tiny_state();
+        state.total_drained_j += 1e6; // books claim energy that never left
+        assert!(check(&state).unwrap_err().contains("not conserved"));
+    }
+
+    #[test]
+    fn phase_route_mismatch_is_caught() {
+        let mut state = tiny_state();
+        state.rvs[0].phase = crate::RvPhase::ToStop(wrsn_core::SensorId(3));
+        assert!(check(&state).unwrap_err().contains("route head"));
+    }
+
+    #[test]
+    fn stale_suspension_timer_is_caught() {
+        let mut state = tiny_state();
+        state.suspend_until[5] = 100.0; // timer without the suspended flag
+        assert!(check(&state).unwrap_err().contains("stale suspension"));
+    }
+
+    #[test]
+    fn failure_ledger_mismatch_is_caught() {
+        let mut state = tiny_state();
+        state.failures = 3; // ledger says 3, no sensor is marked failed
+        assert!(check(&state).unwrap_err().contains("failure ledger"));
+    }
+}

@@ -8,9 +8,15 @@
 //! |-------|--------------|----------------------------------------------|
 //! | 1 | [`mobility`] | target motion, cluster-rebuild triggers, Alg. 1 clustering |
 //! | 2 | [`activity`] | round-robin slot handover, §III-C dormancy, routing refresh |
-//! | 3 | [`energy`] | failure injection, sensor battery drain |
-//! | 4 | [`dispatch`] | request board upkeep (§III-B ERC), dispatch hysteresis, recharge planning (Algs. 2–4) |
-//! | 5 | [`fleet`] | RV phase machine: travel / charge / return / self-charge |
+//! | 3 | [`faults`] | chaos engine: transient sensor outages, RV breakdown/repair |
+//! | 4 | [`energy`] | permanent failure injection, sensor battery drain |
+//! | 5 | [`dispatch`] | request board upkeep (§III-B ERC, lossy-uplink retransmits), dispatch hysteresis, recharge planning (Algs. 2–4) |
+//! | 6 | [`fleet`] | RV phase machine: travel / charge / return / self-charge / broken |
+//!
+//! [`invariants`] is not a phase: it is a whole-state consistency checker
+//! (energy conservation, board/route/phase agreement) that
+//! [`World::step`](crate::World::step) runs after every tick in debug
+//! builds and the chaos property tests assert explicitly.
 //!
 //! The split is deliberate: every subsystem reads and writes only through
 //! `WorldState`, so policies can be swapped and subsystems tested in
@@ -21,7 +27,9 @@
 pub(crate) mod activity;
 pub(crate) mod dispatch;
 pub(crate) mod energy;
+pub(crate) mod faults;
 pub(crate) mod fleet;
+pub(crate) mod invariants;
 pub(crate) mod mobility;
 
 use crate::{RequestBoard, RvAgent, SimConfig};
@@ -103,6 +111,31 @@ pub(crate) struct WorldState {
     pub(crate) failed: Vec<bool>,
     pub(crate) failures: u64,
     pub(crate) trace: crate::Trace,
+
+    /// Chaos engine — transient outages: suspended sensors are off duty
+    /// (no sensing, no relaying, no requesting) but keep their battery.
+    pub(crate) suspended: Vec<bool>,
+    /// When each suspended sensor's outage ends (NaN when not suspended).
+    pub(crate) suspend_until: Vec<f64>,
+    /// Transient-outage events injected so far.
+    pub(crate) transient_faults: u64,
+    /// RV breakdown events injected so far.
+    pub(crate) rv_breakdowns: u64,
+    /// Release/ack uplink exchanges lost so far.
+    pub(crate) uplink_drops: u64,
+    /// Set when a fault forcibly returned assigned requests to the board;
+    /// tells the dispatcher to replan without waiting for batch hysteresis.
+    pub(crate) replan_urgent: bool,
+
+    /// Conservation ledgers for the invariant checker: energy stored in
+    /// sensor batteries at t = 0, energy discarded when hardware
+    /// permanently fails, fleet energy at t = 0, total base-station input
+    /// into RV packs, and total energy actually drawn from RV packs.
+    pub(crate) initial_sensor_j: f64,
+    pub(crate) failure_lost_j: f64,
+    pub(crate) initial_fleet_j: f64,
+    pub(crate) rv_input_j: f64,
+    pub(crate) rv_drawn_j: f64,
 }
 
 impl WorldState {
@@ -153,6 +186,8 @@ impl WorldState {
             .map(|i| RvAgent::new(RvId(i as u32), base, cfg.rv_model.battery_capacity_j))
             .collect();
 
+        let initial_sensor_j: f64 = batteries.iter().map(|b| b.level()).sum();
+        let initial_fleet_j = cfg.num_rvs as f64 * cfg.rv_model.battery_capacity_j;
         let mut state = Self {
             scheduler,
             rng,
@@ -192,6 +227,17 @@ impl WorldState {
             failed: vec![false; cfg.num_sensors],
             failures: 0,
             trace: crate::Trace::disabled(),
+            suspended: vec![false; cfg.num_sensors],
+            suspend_until: vec![f64::NAN; cfg.num_sensors],
+            transient_faults: 0,
+            rv_breakdowns: 0,
+            uplink_drops: 0,
+            replan_urgent: false,
+            initial_sensor_j,
+            failure_lost_j: 0.0,
+            initial_fleet_j,
+            rv_input_j: 0.0,
+            rv_drawn_j: 0.0,
             cfg: cfg.clone(),
         };
         mobility::rebuild_clusters(&mut state);
@@ -199,9 +245,17 @@ impl WorldState {
         state
     }
 
-    /// Sensors with non-depleted batteries.
+    /// Sensors with non-depleted batteries. Suspended sensors count as
+    /// alive — their hardware and battery are intact, they are just
+    /// temporarily off duty.
     pub(crate) fn alive_count(&self) -> usize {
         self.batteries.iter().filter(|b| !b.is_depleted()).count()
+    }
+
+    /// Whether sensor `s` can perform duty right now: battery not
+    /// depleted and not suspended by a transient fault.
+    pub(crate) fn on_duty(&self, s: SensorId) -> bool {
+        !self.batteries[s.index()].is_depleted() && !self.suspended[s.index()]
     }
 
     /// Fraction of *coverable* targets (targets with at least one candidate
@@ -217,7 +271,7 @@ impl WorldState {
         let mut covered = 0usize;
         for (ci, _cluster) in self.clusters.iter() {
             let rota = &self.rotas[ci.index()];
-            let alive = |s: SensorId| !self.batteries[s.index()].is_depleted();
+            let alive = |s: SensorId| self.on_duty(s);
             // With round-robin, the rota fails over to any live member, so
             // coverage holds as long as one member lives — same criterion
             // as full-time activation.

@@ -40,7 +40,7 @@ mod rv_agent;
 mod trace;
 mod world;
 
-pub use config::{ActivityConfig, SimConfig, TargetMobility};
+pub use config::{ActivityConfig, FaultConfig, SimConfig, TargetMobility};
 pub use request::RequestBoard;
 pub use rv_agent::{RvAgent, RvPhase};
 pub use trace::{Trace, TraceEvent};

@@ -13,12 +13,22 @@ use wrsn_core::SensorId;
 ///
 /// The board tracks the three boolean stages; §III-B's ERP decides when
 /// `Pending` cluster members transition to `Released`.
+/// Under the chaos engine's lossy uplink, a `Pending → Released`
+/// transition can additionally fail and retry: each loss schedules a
+/// retransmit after a capped exponential backoff
+/// ([`RequestBoard::note_uplink_drop`]); a successful release (or a
+/// [`RequestBoard::clear`]) resets the retry state.
 #[derive(Debug, Clone)]
 pub struct RequestBoard {
     pending: Vec<bool>,
     released: Vec<bool>,
     assigned: Vec<bool>,
     released_at: Vec<f64>,
+    /// Consecutive lost uplink attempts per sensor (0 = no loss pending).
+    attempts: Vec<u32>,
+    /// Earliest time the next retransmit may happen (NaN when no retry is
+    /// scheduled).
+    retry_at: Vec<f64>,
 }
 
 impl RequestBoard {
@@ -29,6 +39,8 @@ impl RequestBoard {
             released: vec![false; n],
             assigned: vec![false; n],
             released_at: vec![f64::NAN; n],
+            attempts: vec![0; n],
+            retry_at: vec![f64::NAN; n],
         }
     }
 
@@ -45,6 +57,38 @@ impl RequestBoard {
             self.released[s.index()] = true;
             self.released_at[s.index()] = t;
         }
+        self.attempts[s.index()] = 0;
+        self.retry_at[s.index()] = f64::NAN;
+    }
+
+    /// Records one lost release/ack exchange for sensor `s` at time `now`
+    /// and schedules the retransmit with capped exponential backoff
+    /// (`backoff_s · 2^(attempts−1)`, capped at `cap_s`). Returns the
+    /// consecutive-loss count including this one.
+    pub fn note_uplink_drop(&mut self, s: SensorId, now: f64, backoff_s: f64, cap_s: f64) -> u32 {
+        let i = s.index();
+        self.attempts[i] = self.attempts[i].saturating_add(1);
+        let exp = (self.attempts[i] - 1).min(30);
+        let wait = (backoff_s * (1u64 << exp) as f64).min(cap_s);
+        self.retry_at[i] = now + wait;
+        self.attempts[i]
+    }
+
+    /// Whether sensor `s` may (re)transmit at time `now`: true when no
+    /// loss happened yet or the scheduled backoff has elapsed.
+    pub fn retry_due(&self, s: SensorId, now: f64) -> bool {
+        let i = s.index();
+        self.attempts[i] == 0 || now >= self.retry_at[i]
+    }
+
+    /// Consecutive lost uplink attempts for sensor `s` (0 = none pending).
+    pub fn uplink_attempts(&self, s: SensorId) -> u32 {
+        self.attempts[s.index()]
+    }
+
+    /// When sensor `s`'s next retransmit is scheduled (NaN when none is).
+    pub fn retry_time(&self, s: SensorId) -> f64 {
+        self.retry_at[s.index()]
     }
 
     /// When sensor `s`'s request entered the recharge node list (NaN when
@@ -75,6 +119,8 @@ impl RequestBoard {
         self.released[s.index()] = false;
         self.assigned[s.index()] = false;
         self.released_at[s.index()] = f64::NAN;
+        self.attempts[s.index()] = 0;
+        self.retry_at[s.index()] = f64::NAN;
     }
 
     /// Below threshold but not yet in `R`.
@@ -85,6 +131,11 @@ impl RequestBoard {
     /// In the recharge node list (released, whether or not assigned).
     pub fn is_released(&self, s: SensorId) -> bool {
         self.released[s.index()]
+    }
+
+    /// Claimed by a planned RV route.
+    pub fn is_assigned(&self, s: SensorId) -> bool {
+        self.assigned[s.index()]
     }
 
     /// Released and not yet claimed by any route.
@@ -135,6 +186,39 @@ mod tests {
         assert_eq!(b.unassigned().count(), 0);
         b.unassign(SensorId(0));
         assert_eq!(b.unassigned().collect::<Vec<_>>(), vec![SensorId(0)]);
+    }
+
+    #[test]
+    fn uplink_drops_back_off_exponentially_with_cap() {
+        let mut b = RequestBoard::new(2);
+        let s = SensorId(0);
+        b.mark_pending(s);
+        assert!(b.retry_due(s, 0.0), "first attempt is always due");
+        assert_eq!(b.note_uplink_drop(s, 0.0, 60.0, 300.0), 1);
+        assert_eq!(b.retry_time(s), 60.0);
+        assert!(!b.retry_due(s, 30.0));
+        assert!(b.retry_due(s, 60.0));
+        assert_eq!(b.note_uplink_drop(s, 60.0, 60.0, 300.0), 2);
+        assert_eq!(b.retry_time(s), 60.0 + 120.0);
+        b.note_uplink_drop(s, 180.0, 60.0, 300.0);
+        b.note_uplink_drop(s, 420.0, 60.0, 300.0);
+        // 4th backoff would be 480 s but is capped at 300 s.
+        assert_eq!(b.retry_time(s), 420.0 + 300.0);
+        // A successful release resets the retry state.
+        b.release(s, 800.0);
+        assert_eq!(b.uplink_attempts(s), 0);
+        assert!(b.retry_time(s).is_nan());
+    }
+
+    #[test]
+    fn clear_resets_retry_state() {
+        let mut b = RequestBoard::new(1);
+        let s = SensorId(0);
+        b.mark_pending(s);
+        b.note_uplink_drop(s, 0.0, 60.0, 300.0);
+        b.clear(s);
+        assert_eq!(b.uplink_attempts(s), 0);
+        assert!(b.retry_due(s, 0.0));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use wrsn_energy::{Battery, ChargeModel};
 use wrsn_geom::Point2;
 
 /// What an RV is doing right now.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RvPhase {
     /// Waiting for a route (wherever it is).
     Idle,
@@ -18,6 +18,12 @@ pub enum RvPhase {
     ToBase,
     /// Parked at the base station, replenishing its own battery.
     SelfCharging,
+    /// Broken down in the field (chaos engine): stuck in place and
+    /// unplannable until the repair completes at `until_s`.
+    Broken {
+        /// Simulation time (s) at which the repair completes.
+        until_s: f64,
+    },
 }
 
 /// One recharging vehicle: position, battery, current route and phase.
@@ -40,8 +46,8 @@ pub struct RvAgent {
     /// Odometer (m), for per-RV diagnostics.
     pub distance_traveled_m: f64,
     /// Cumulative seconds spent per duty: `[idle, traveling, charging,
-    /// self-charging]` — the fleet-economics breakdown.
-    pub phase_time_s: [f64; 4],
+    /// self-charging, broken]` — the fleet-economics breakdown.
+    pub phase_time_s: [f64; 5],
 }
 
 impl RvAgent {
@@ -58,8 +64,14 @@ impl RvAgent {
             route: VecDeque::new(),
             phase: RvPhase::Idle,
             distance_traveled_m: 0.0,
-            phase_time_s: [0.0; 4],
+            phase_time_s: [0.0; 5],
         }
+    }
+
+    /// Whether the RV is broken down (chaos engine breakdown, repair not
+    /// yet complete).
+    pub fn is_broken(&self) -> bool {
+        matches!(self.phase, RvPhase::Broken { .. })
     }
 
     /// Fraction of accounted time spent charging sensors (the fleet's
@@ -141,6 +153,14 @@ mod tests {
         let dropped = rv.abandon_route();
         assert_eq!(dropped, vec![SensorId(1), SensorId(2)]);
         assert!(rv.is_plannable());
+    }
+
+    #[test]
+    fn broken_rv_is_not_plannable() {
+        let mut rv = RvAgent::new(RvId(0), Point2::ORIGIN, 1e6);
+        rv.phase = RvPhase::Broken { until_s: 3_600.0 };
+        assert!(rv.is_broken());
+        assert!(!rv.is_plannable());
     }
 
     #[test]

@@ -54,6 +54,47 @@ pub enum TraceEvent {
         /// The sensor.
         sensor: SensorId,
     },
+    /// An RV broke down mid-tour (chaos engine); its remaining stops went
+    /// back to the request board.
+    RvBroke {
+        /// Time of the breakdown.
+        t: f64,
+        /// The broken vehicle.
+        rv: RvId,
+        /// Stops returned to the board.
+        dropped_stops: usize,
+    },
+    /// A broken RV finished its repair and rejoined the fleet.
+    RvRepaired {
+        /// Time the repair completed.
+        t: f64,
+        /// The repaired vehicle.
+        rv: RvId,
+    },
+    /// A transient fault suspended a sensor (battery untouched).
+    SensorSuspended {
+        /// Time of the outage.
+        t: f64,
+        /// The sensor.
+        sensor: SensorId,
+    },
+    /// A suspended sensor's outage ended; it rejoins duty and routing.
+    SensorResumed {
+        /// Time of the recovery.
+        t: f64,
+        /// The sensor.
+        sensor: SensorId,
+    },
+    /// A release/ack uplink exchange was lost; the request group will
+    /// retransmit after a capped exponential backoff.
+    RequestDropped {
+        /// Time of the loss.
+        t: f64,
+        /// The requesting sensor.
+        sensor: SensorId,
+        /// Consecutive losses for this request so far (1 = first).
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -65,7 +106,12 @@ impl TraceEvent {
             | TraceEvent::SensorDepleted { t, .. }
             | TraceEvent::SensorRevived { t, .. }
             | TraceEvent::ClustersRebuilt { t, .. }
-            | TraceEvent::SensorFailed { t, .. } => t,
+            | TraceEvent::SensorFailed { t, .. }
+            | TraceEvent::RvBroke { t, .. }
+            | TraceEvent::RvRepaired { t, .. }
+            | TraceEvent::SensorSuspended { t, .. }
+            | TraceEvent::SensorResumed { t, .. }
+            | TraceEvent::RequestDropped { t, .. } => t,
         }
     }
 
@@ -87,6 +133,17 @@ impl TraceEvent {
             TraceEvent::SensorRevived { t, sensor } => format!("{t},revived,{sensor},,"),
             TraceEvent::ClustersRebuilt { t, clusters } => format!("{t},clusters,{clusters},,"),
             TraceEvent::SensorFailed { t, sensor } => format!("{t},failed,{sensor},,"),
+            TraceEvent::RvBroke {
+                t,
+                rv,
+                dropped_stops,
+            } => format!("{t},rv_broke,{rv},{dropped_stops},"),
+            TraceEvent::RvRepaired { t, rv } => format!("{t},rv_repaired,{rv},,"),
+            TraceEvent::SensorSuspended { t, sensor } => format!("{t},suspended,{sensor},,"),
+            TraceEvent::SensorResumed { t, sensor } => format!("{t},resumed,{sensor},,"),
+            TraceEvent::RequestDropped { t, sensor, attempt } => {
+                format!("{t},req_dropped,{sensor},{attempt},")
+            }
         }
     }
 }
@@ -201,6 +258,28 @@ mod tests {
         t.push(TraceEvent::ClustersRebuilt {
             t: 6.0,
             clusters: 4,
+        });
+        t.push(TraceEvent::RvBroke {
+            t: 7.0,
+            rv: RvId(0),
+            dropped_stops: 2,
+        });
+        t.push(TraceEvent::RvRepaired {
+            t: 8.0,
+            rv: RvId(0),
+        });
+        t.push(TraceEvent::SensorSuspended {
+            t: 9.0,
+            sensor: SensorId(4),
+        });
+        t.push(TraceEvent::SensorResumed {
+            t: 10.0,
+            sensor: SensorId(4),
+        });
+        t.push(TraceEvent::RequestDropped {
+            t: 11.0,
+            sensor: SensorId(4),
+            attempt: 3,
         });
         let csv = t.to_csv();
         for line in csv.lines().skip(1) {

@@ -36,6 +36,12 @@ pub struct SimOutcome {
     /// Mean fraction of RV time spent actually charging sensors (0 with
     /// no RVs) — the fleet's useful-work ratio.
     pub rv_charging_utilization: f64,
+    /// RV breakdown events injected by the chaos engine.
+    pub rv_breakdowns: u64,
+    /// Transient sensor outages injected by the chaos engine.
+    pub transient_faults: u64,
+    /// Release/ack uplink exchanges lost by the chaos engine.
+    pub uplink_drops: u64,
 }
 
 /// The simulated world. Construct with [`World::new`], then either call
@@ -163,6 +169,9 @@ impl World {
                     .sum::<f64>()
                     / state.rvs.len() as f64
             },
+            rv_breakdowns: state.rv_breakdowns,
+            transient_faults: state.transient_faults,
+            uplink_drops: state.uplink_drops,
         }
     }
 
@@ -182,35 +191,40 @@ impl World {
         // 2. Activity: round-robin slot handover…
         engine::activity::advance_slots(state);
 
-        // 3. Energy: failure injection (Poisson per-sensor hardware
+        // 3. Chaos engine: transient-outage resume/suspend and RV
+        //    repair/breakdown (draws no RNG when all fault rates are 0).
+        engine::faults::step(state, dt);
+
+        // 4. Energy: failure injection (Poisson per-sensor hardware
         //    faults)…
         if state.cfg.permanent_failures_per_day > 0.0 {
             engine::energy::inject_failures(state, dt);
         }
 
-        // 4. …activity/routing/relay-load refresh where phases 1–3 left
+        // 5. …activity/routing/relay-load refresh where phases 1–4 left
         //    them stale…
         if state.routing_dirty {
             engine::activity::refresh_routing(state);
         }
 
-        // 5. …then sensor battery drain under the refreshed loads.
+        // 6. …then sensor battery drain under the refreshed loads.
         engine::energy::drain_sensors(state, dt);
 
-        // 6. Dispatch: request-board upkeep (threshold checks + ERC
-        //    gating), then batched recharge planning under hysteresis.
+        // 7. Dispatch: request-board upkeep (threshold checks + ERC
+        //    gating, lossy-uplink retransmits), then batched recharge
+        //    planning under hysteresis.
         engine::dispatch::manage_requests(state);
         if state.t >= state.next_plan_ok && engine::dispatch::should_plan(state) {
             engine::dispatch::plan_routes(state);
         }
 
-        // 7. Fleet: RV execution (movement / charging / self-charge),
-        //    exact in sub-tick time.
+        // 8. Fleet: RV execution (movement / charging / self-charge /
+        //    broken), exact in sub-tick time.
         for i in 0..state.rvs.len() {
             engine::fleet::step_rv(state, i, dt);
         }
 
-        // 8. Metrics sampling.
+        // 9. Metrics sampling.
         if state.t >= state.next_sample {
             state.next_sample = state.t + state.cfg.sample_every_s;
             let alive = state.alive_count();
@@ -222,6 +236,31 @@ impl World {
         }
 
         state.t += dt;
+
+        // In debug builds, audit the whole-state invariants every tick —
+        // every test run doubles as a consistency sweep.
+        #[cfg(debug_assertions)]
+        if let Err(violation) = engine::invariants::check(state) {
+            panic!("invariant violated at t = {} s: {violation}", state.t);
+        }
+    }
+
+    /// Runs the whole-state consistency checker (energy conservation,
+    /// board/route/phase agreement, fault ledgers) and returns the first
+    /// violation, if any. [`World::step`] does this automatically after
+    /// every tick in debug builds; release-mode tests call it explicitly.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        engine::invariants::check(&self.state)
+    }
+
+    /// The request board (read-only view for tests/diagnostics).
+    pub fn board(&self) -> &crate::RequestBoard {
+        &self.state.board
+    }
+
+    /// Whether sensor `s` is currently suspended by a transient fault.
+    pub fn is_suspended(&self, s: SensorId) -> bool {
+        self.state.suspended[s.index()]
     }
 }
 

@@ -1,0 +1,136 @@
+//! Pins the chaos-engine determinism contract: with every fault rate at
+//! zero (the default [`FaultConfig::none`]), runs take **exactly** the
+//! random draws a pre-chaos build took, so outcomes are byte-identical.
+//!
+//! The literals below were captured from the engine immediately before
+//! the fault-injection subsystem was added. They are exact f64 values
+//! (Debug-formatted, round-trip precise) — any drift, even in the last
+//! ulp, means a code path consumed RNG draws or reordered arithmetic on
+//! a zero-fault run, which breaks seed reproducibility for every
+//! existing experiment. Compare with `==`, not a tolerance.
+
+use wrsn_sim::{ActivityConfig, FaultConfig, SimConfig, World};
+
+fn tiny(days: f64) -> SimConfig {
+    let mut cfg = SimConfig::small(days);
+    cfg.num_sensors = 60;
+    cfg.num_targets = 3;
+    cfg.num_rvs = 1;
+    cfg.field_side = 60.0;
+    cfg
+}
+
+struct Pin {
+    drained: f64,
+    delivered: f64,
+    deaths: u64,
+    plans: u64,
+    fails: u64,
+    travel_m: f64,
+    coverage_pct: f64,
+    alive: usize,
+}
+
+fn assert_pinned(cfg: &SimConfig, seed: u64, pin: &Pin) {
+    let out = World::new(cfg, seed).run();
+    assert_eq!(out.total_drained_j, pin.drained, "drained drifted");
+    assert_eq!(out.total_delivered_j, pin.delivered, "delivered drifted");
+    assert_eq!(out.deaths, pin.deaths);
+    assert_eq!(out.plans, pin.plans);
+    assert_eq!(out.permanent_failures, pin.fails);
+    assert_eq!(out.report.travel_distance_m, pin.travel_m, "travel drifted");
+    assert_eq!(out.report.coverage_ratio_pct, pin.coverage_pct);
+    assert_eq!(out.final_alive, pin.alive);
+    assert_eq!(out.rv_breakdowns, 0);
+    assert_eq!(out.transient_faults, 0);
+    assert_eq!(out.uplink_drops, 0);
+}
+
+#[test]
+fn default_run_matches_pre_chaos_baseline() {
+    let cfg = tiny(4.0);
+    assert_eq!(cfg.faults, FaultConfig::none());
+    assert_pinned(
+        &cfg,
+        5,
+        &Pin {
+            drained: 92851.33355769393,
+            delivered: 5558.532725011551,
+            deaths: 0,
+            plans: 1,
+            fails: 0,
+            travel_m: 23.204112581070955,
+            coverage_pct: 100.0,
+            alive: 60,
+        },
+    );
+}
+
+#[test]
+fn failure_injection_run_matches_pre_chaos_baseline() {
+    // Permanent failures predate the chaos engine; their RNG draws must
+    // interleave exactly as before.
+    let mut cfg = tiny(4.0);
+    cfg.permanent_failures_per_day = 0.05;
+    assert_pinned(
+        &cfg,
+        31,
+        &Pin {
+            drained: 85061.20696353287,
+            delivered: 5608.718064185016,
+            deaths: 0,
+            plans: 1,
+            fails: 12,
+            travel_m: 24.370397863221516,
+            coverage_pct: 98.08695652173913,
+            alive: 48,
+        },
+    );
+}
+
+#[test]
+fn legacy_activation_run_matches_pre_chaos_baseline() {
+    // Full-time activation with a busy fleet: exercises the dispatch and
+    // fleet paths (6 planning waves) where the uplink hook now sits.
+    let mut cfg = tiny(3.0);
+    cfg.activity = ActivityConfig::legacy();
+    cfg.initial_soc = (0.3, 1.0);
+    assert_pinned(
+        &cfg,
+        7,
+        &Pin {
+            drained: 115125.27491052421,
+            delivered: 204665.93757964927,
+            deaths: 0,
+            plans: 6,
+            fails: 0,
+            travel_m: 785.6177117475676,
+            coverage_pct: 100.0,
+            alive: 60,
+        },
+    );
+}
+
+#[test]
+fn explicit_zero_rates_equal_fault_config_none() {
+    // A FaultConfig with explicitly-zero rates but non-default secondary
+    // knobs (repair times, backoff) must behave exactly like none():
+    // secondary knobs are inert until their rate enables the class.
+    let mut cfg = tiny(2.0);
+    cfg.faults = FaultConfig {
+        rv_breakdowns_per_day: 0.0,
+        rv_repair_s: (1.0, 2.0),
+        uplink_loss: 0.0,
+        uplink_backoff_s: 5.0,
+        uplink_backoff_cap_s: 10.0,
+        transients_per_day: 0.0,
+        transient_outage_s: (1.0, 2.0),
+    };
+    let a = World::new(&cfg, 13).run();
+    let mut plain = tiny(2.0);
+    plain.faults = FaultConfig::none();
+    let b = World::new(&plain, 13).run();
+    assert_eq!(a.total_drained_j, b.total_drained_j);
+    assert_eq!(a.total_delivered_j, b.total_delivered_j);
+    assert_eq!(a.report, b.report);
+}
