@@ -1,0 +1,74 @@
+//! Coverage-cache benchmark: the per-sample-tick coverage/alive
+//! accounting, naive recompute vs. the incremental cache.
+//!
+//! The naive path rescans every cluster member and every battery per
+//! call, so it scales with sensors × targets; the cached path reads the
+//! event-maintained counters (O(dirty clusters), O(1) when settled).
+//! The `sim_tick` series prices one full engine tick at each scale —
+//! the loop the cache was built to unblock.
+//! `results/BENCH_coverage.json` snapshots a run of this bench; refresh
+//! it with `cargo bench -p wrsn-bench --bench coverage_cache`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wrsn_sim::{SimConfig, World};
+
+/// A field at the seed tests' sensor density (60 sensors on a 60 m
+/// square), scaled to `sensors` with one target per ~20 sensors.
+fn scaled_world(sensors: usize) -> World {
+    let mut cfg = SimConfig::small(1.0);
+    cfg.num_sensors = sensors;
+    cfg.num_targets = (sensors / 20).max(1);
+    cfg.num_rvs = 1;
+    cfg.field_side = 60.0 * (sensors as f64 / 60.0).sqrt();
+    cfg.initial_soc = (0.1, 1.0); // mixed health: deaths happen early
+    let mut w = World::new(&cfg, 42);
+    // Step past a few slot boundaries so rotas, deaths and routing state
+    // look like a mid-run world rather than a freshly built one.
+    for _ in 0..30 {
+        w.step();
+    }
+    w
+}
+
+fn bench_coverage_accounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_cache");
+    group.sample_size(20);
+    for &sensors in &[100usize, 1_000, 10_000] {
+        let world = scaled_world(sensors);
+        group.bench_with_input(
+            BenchmarkId::new("naive", sensors),
+            &world,
+            |b, w: &World| {
+                b.iter(|| {
+                    (
+                        black_box(w.oracle_coverage_ratio()),
+                        black_box(w.oracle_alive_count()),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached", sensors),
+            &world,
+            |b, w: &World| b.iter(|| (black_box(w.coverage_ratio()), black_box(w.alive_count()))),
+        );
+        // One full sample tick of the simulation at this scale — the
+        // loop the cache was built to unblock. Dominated by drain/fleet
+        // phases once coverage accounting is O(dirty).
+        let mut stepping = scaled_world(sensors);
+        group.bench_with_input(
+            BenchmarkId::new("sim_tick", sensors),
+            &(),
+            |b, _unit: &()| {
+                b.iter(|| {
+                    stepping.step();
+                    black_box(stepping.time())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_accounting);
+criterion_main!(benches);

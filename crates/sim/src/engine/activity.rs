@@ -23,6 +23,10 @@ pub(crate) fn advance_slots(state: &mut WorldState) {
             rota.advance(|s| !batteries[s.index()].is_depleted() && !suspended[s.index()]);
         }
         state.routing_dirty = true;
+        // Conservative part of the coverage-cache contract: any phase
+        // that touches rota state dirties its clusters (coverage itself
+        // is cursor-independent — see engine::coverage's module docs).
+        super::coverage::note_slots_advanced(state);
     }
 }
 

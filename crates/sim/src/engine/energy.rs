@@ -33,6 +33,7 @@ pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
             state.suspend_until[s] = f64::NAN;
             state.board.clear(id);
             state.routing_dirty = true;
+            super::coverage::note_failed(state, id);
             state.trace.push(crate::TraceEvent::SensorFailed {
                 t: state.t,
                 sensor: id,
@@ -43,7 +44,7 @@ pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
 
 /// Integrates one tick of battery drain for every live sensor.
 pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
-    let profile = &state.cfg.sensor_profile;
+    let profile = state.cfg.sensor_profile;
     for s in 0..state.cfg.num_sensors {
         if state.batteries[s].is_depleted() || state.suspended[s] {
             // Suspended sensors are powered down for the outage: they
@@ -80,6 +81,7 @@ pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
             state.was_depleted[s] = true;
             state.deaths += 1;
             state.routing_dirty = true;
+            super::coverage::note_depleted(state, SensorId(s as u32));
             state.trace.push(crate::TraceEvent::SensorDepleted {
                 t: state.t,
                 sensor: SensorId(s as u32),

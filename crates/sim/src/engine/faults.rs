@@ -38,6 +38,7 @@ fn resume_sensors(state: &mut WorldState) {
             state.suspended[s] = false;
             state.suspend_until[s] = f64::NAN;
             state.routing_dirty = true;
+            super::coverage::note_suspension_changed(state, SensorId(s as u32));
             state.trace.push(TraceEvent::SensorResumed {
                 t: state.t,
                 sensor: SensorId(s as u32),
@@ -69,6 +70,7 @@ fn suspend_sensors(state: &mut WorldState, dt: f64) {
             state.suspend_until[s] = state.t + outage.max(dt);
             state.transient_faults += 1;
             state.routing_dirty = true;
+            super::coverage::note_suspension_changed(state, SensorId(s as u32));
             state.trace.push(TraceEvent::SensorSuspended {
                 t: state.t,
                 sensor: SensorId(s as u32),

@@ -102,6 +102,7 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 }
                 let use_t = budget.min(t_full);
                 state.rvs[i].phase_time_s[2] += use_t;
+                let was_dead = state.batteries[s.index()].is_depleted();
                 let delivered = state.batteries[s.index()].charge_for(power, use_t);
                 state.total_delivered_j += delivered;
                 state.metrics.record_recharge_energy(delivered);
@@ -109,6 +110,12 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 let got = state.rvs[i].battery.draw(src);
                 state.rv_drawn_j += got;
                 state.rv_shortfall_j += src - got;
+                // Coverage cache: revival is the *battery* transition out
+                // of depletion (a sensor deployed dead has no
+                // `was_depleted` entry yet still rejoins the alive set).
+                if was_dead && !state.batteries[s.index()].is_depleted() {
+                    super::coverage::note_revived(state, s);
+                }
                 if state.was_depleted[s.index()] && !state.batteries[s.index()].is_depleted() {
                     state.was_depleted[s.index()] = false;
                     state.routing_dirty = true;

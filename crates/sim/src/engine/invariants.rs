@@ -2,7 +2,9 @@
 //!
 //! [`check`] audits the cross-subsystem invariants no single phase can
 //! guarantee alone: energy conservation on both the sensor and the fleet
-//! side, request-board ↔ route ↔ phase agreement, and the fault ledgers.
+//! side, request-board ↔ route ↔ phase agreement, the fault ledgers, and
+//! the incremental coverage cache against its naive differential oracle
+//! ([`super::coverage::verify`]).
 //! [`crate::World::step`] runs it after every tick in debug builds (so
 //! every unit/property test sweeps it across every configuration it
 //! touches), the chaos property tests assert it explicitly, and
@@ -117,6 +119,12 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
             depleted_now, state.deaths, state.failures
         ));
     }
+
+    // --- Coverage cache vs. naive oracle --------------------------------
+    // Every debug tick re-derives coverage and alive counts from ground
+    // truth and demands exact agreement with the incremental cache — the
+    // differential-oracle half of the coverage-cache contract.
+    super::coverage::verify(state)?;
 
     // --- Energy conservation -------------------------------------------
     // Sensors: stored(t) = stored(0) − drained − lost-to-hw-failure

@@ -103,6 +103,9 @@ pub(crate) fn rebuild_clusters(state: &mut WorldState) {
         }
     }
     state.routing_dirty = true;
+    // The cluster structure changed: the incremental coverage cache must
+    // be rebuilt wholesale (the only non-event-wise moment it has).
+    super::coverage::rebuild(state);
 }
 
 #[cfg(test)]

@@ -18,6 +18,13 @@
 //! [`World::step`](crate::World::step) runs after every tick in debug
 //! builds and the chaos property tests assert explicitly.
 //!
+//! [`coverage`] is not a phase either: it is the incremental
+//! coverage/cluster cache the phases feed through event hooks (the
+//! invalidation contract in DESIGN.md §4c), making the sample-tick
+//! coverage/alive accounting O(dirty clusters) instead of
+//! O(sensors × targets). The naive recompute stays in the build as the
+//! differential oracle [`invariants`] checks every debug tick.
+//!
 //! The split is deliberate: every subsystem reads and writes only through
 //! `WorldState`, so policies can be swapped and subsystems tested in
 //! isolation (each module owns the unit tests for its concern), while the
@@ -25,6 +32,7 @@
 //! interior mutability, no cross-subsystem borrows.
 
 pub(crate) mod activity;
+pub(crate) mod coverage;
 pub(crate) mod dispatch;
 pub(crate) mod energy;
 pub(crate) mod faults;
@@ -126,6 +134,12 @@ pub(crate) struct WorldState {
     /// Set when a fault forcibly returned assigned requests to the board;
     /// tells the dispatcher to replan without waiting for batch hysteresis.
     pub(crate) replan_urgent: bool,
+
+    /// Incremental coverage/cluster cache: per-cluster live-member
+    /// counts behind a dirty-set, plus the exact alive counter. Rebuilt
+    /// by [`coverage::rebuild`] whenever clustering changes; updated
+    /// event-wise by the `coverage::note_*` hooks otherwise.
+    pub(crate) coverage: coverage::CoverageCache,
 
     /// Conservation ledgers for the invariant checker: energy stored in
     /// sensor batteries at t = 0, energy discarded when hardware
@@ -233,6 +247,7 @@ impl WorldState {
             rv_breakdowns: 0,
             uplink_drops: 0,
             replan_urgent: false,
+            coverage: coverage::CoverageCache::default(),
             initial_sensor_j,
             failure_lost_j: 0.0,
             initial_fleet_j,
@@ -247,9 +262,11 @@ impl WorldState {
 
     /// Sensors with non-depleted batteries. Suspended sensors count as
     /// alive — their hardware and battery are intact, they are just
-    /// temporarily off duty.
+    /// temporarily off duty. O(1): served by the event-maintained counter
+    /// in [`coverage::CoverageCache`] ([`coverage::naive_alive_count`] is
+    /// the brute-force oracle the invariant checker compares against).
     pub(crate) fn alive_count(&self) -> usize {
-        self.batteries.iter().filter(|b| !b.is_depleted()).count()
+        coverage::alive(self)
     }
 
     /// Whether sensor `s` can perform duty right now: battery not
@@ -264,21 +281,10 @@ impl WorldState {
     /// property of the random deployment, not of scheduling, and are
     /// excluded the way the paper's 0 %-missing baselines imply. 1.0 when
     /// no coverable target is present.
+    /// O(dirty clusters) per call: served by the incremental cache
+    /// ([`coverage::naive_coverage_ratio`] is the brute-force recompute
+    /// kept as the differential oracle).
     pub(crate) fn coverage_ratio(&self) -> f64 {
-        if self.clusters.is_empty() {
-            return 1.0;
-        }
-        let mut covered = 0usize;
-        for (ci, _cluster) in self.clusters.iter() {
-            let rota = &self.rotas[ci.index()];
-            let alive = |s: SensorId| self.on_duty(s);
-            // With round-robin, the rota fails over to any live member, so
-            // coverage holds as long as one member lives — same criterion
-            // as full-time activation.
-            if rota.active(alive).is_some() {
-                covered += 1;
-            }
-        }
-        covered as f64 / self.clusters.len() as f64
+        coverage::ratio(self)
     }
 }

@@ -86,8 +86,9 @@ pub fn render_field(world: &World, cols: usize) -> String {
     out.push('+');
     out.push_str(&"-".repeat(cols));
     out.push_str("+\n");
+    let (covered, total_clusters) = world.covered_clusters();
     out.push_str(&format!(
-        "t = {:7.2} days | alive {:3}/{} | coverage {:5.1} % | B base, T target, 0-9 RVs, # monitoring, . ok, o low, x dead\n",
+        "t = {:7.2} days | alive {:3}/{} | coverage {:5.1} % ({covered}/{total_clusters} clusters) | B base, T target, 0-9 RVs, # monitoring, . ok, o low, x dead\n",
         world.time() / 86_400.0,
         world.alive_count(),
         cfg.num_sensors,

@@ -95,10 +95,33 @@ impl World {
     }
 
     /// Fraction of coverable targets currently monitored by a live sensor
-    /// — Fig. 6(b)'s coverage ratio. See
-    /// [`engine::WorldState::coverage_ratio`] for the exact definition.
+    /// — Fig. 6(b)'s coverage ratio. Served by the incremental coverage
+    /// cache in O(dirty clusters); see [`World::oracle_coverage_ratio`]
+    /// for the brute-force recompute it is tested against.
     pub fn coverage_ratio(&self) -> f64 {
         self.state.coverage_ratio()
+    }
+
+    /// Brute-force recompute of [`World::coverage_ratio`] that rescans
+    /// every cluster member — the differential oracle for the incremental
+    /// coverage cache. The two must agree **exactly** on every tick; the
+    /// debug invariant checker and `tests/chaos_properties.rs` enforce it.
+    /// Exposed for the differential test layer and benchmarks.
+    pub fn oracle_coverage_ratio(&self) -> f64 {
+        engine::coverage::naive_coverage_ratio(&self.state)
+    }
+
+    /// Brute-force recompute of [`World::alive_count`] (rescans every
+    /// battery) — the oracle for the cached alive counter.
+    pub fn oracle_alive_count(&self) -> usize {
+        engine::coverage::naive_alive_count(&self.state)
+    }
+
+    /// `(covered, total)` cluster counts from the coverage cache — the
+    /// integer form of [`World::coverage_ratio`], for diagnostics and the
+    /// ASCII renderer.
+    pub fn covered_clusters(&self) -> (usize, usize) {
+        engine::coverage::covered_clusters(&self.state)
     }
 
     /// The configuration the world was built with.
@@ -224,9 +247,12 @@ impl World {
             engine::fleet::step_rv(state, i, dt);
         }
 
-        // 9. Metrics sampling.
+        // 9. Metrics sampling. Settle the coverage cache's dirty set
+        //    first (O(dirty clusters)); the alive/coverage reads below
+        //    are then O(1) instead of O(sensors × targets).
         if state.t >= state.next_sample {
             state.next_sample = state.t + state.cfg.sample_every_s;
+            engine::coverage::flush(state);
             let alive = state.alive_count();
             let nonfunctional = 1.0 - alive as f64 / state.cfg.num_sensors.max(1) as f64;
             let coverage = state.coverage_ratio();

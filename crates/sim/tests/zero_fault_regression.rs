@@ -8,6 +8,14 @@
 //! ulp, means a code path consumed RNG draws or reordered arithmetic on
 //! a zero-fault run, which breaks seed reproducibility for every
 //! existing experiment. Compare with `==`, not a tolerance.
+//!
+//! The incremental coverage cache rides on the same contract: it draws
+//! **no** RNG and must reproduce the pre-cache sampled reports (coverage
+//! %, nonfunctional %, alive counts) bit for bit. The pins below predate
+//! the cache, so their continued exactness *is* the cache-on ≡ cache-off
+//! regression; [`assert_pinned`] additionally cross-checks the cached
+//! coverage/alive values against their brute-force oracles at the end of
+//! every pinned run.
 
 use wrsn_sim::{ActivityConfig, FaultConfig, SimConfig, World};
 
@@ -32,7 +40,8 @@ struct Pin {
 }
 
 fn assert_pinned(cfg: &SimConfig, seed: u64, pin: &Pin) {
-    let out = World::new(cfg, seed).run();
+    let mut w = World::new(cfg, seed);
+    let out = w.run();
     assert_eq!(out.total_drained_j, pin.drained, "drained drifted");
     assert_eq!(out.total_delivered_j, pin.delivered, "delivered drifted");
     assert_eq!(out.deaths, pin.deaths);
@@ -44,6 +53,13 @@ fn assert_pinned(cfg: &SimConfig, seed: u64, pin: &Pin) {
     assert_eq!(out.rv_breakdowns, 0);
     assert_eq!(out.transient_faults, 0);
     assert_eq!(out.uplink_drops, 0);
+    // The incremental coverage cache serves `final_alive` and the sampled
+    // coverage series above; its end-of-run state must also agree exactly
+    // with the brute-force oracles (the differential contract, release
+    // builds included).
+    assert_eq!(w.coverage_ratio(), w.oracle_coverage_ratio());
+    assert_eq!(w.alive_count(), w.oracle_alive_count());
+    assert_eq!(w.alive_count(), pin.alive);
 }
 
 #[test]
@@ -105,6 +121,33 @@ fn legacy_activation_run_matches_pre_chaos_baseline() {
             plans: 6,
             fails: 0,
             travel_m: 785.6177117475676,
+            coverage_pct: 100.0,
+            alive: 60,
+        },
+    );
+}
+
+#[test]
+fn teleport_heavy_run_matches_coverage_cache_introduction_baseline() {
+    // Captured when the incremental coverage cache landed, from a run
+    // whose 6-hourly target teleports force ~16 cluster rebuilds (the
+    // cache's wholesale-rebuild path) on top of the event-wise updates.
+    // Guards the cache era the way the pins above guard the chaos era:
+    // any future cache change that perturbs RNG order or the sampled
+    // coverage series shows up as exact-literal drift here.
+    let mut cfg = tiny(4.0);
+    cfg.target_period_s = 6.0 * 3_600.0;
+    cfg.initial_soc = (0.3, 1.0);
+    assert_pinned(
+        &cfg,
+        23,
+        &Pin {
+            drained: 93253.36593657905,
+            delivered: 177488.55034036186,
+            deaths: 0,
+            plans: 4,
+            fails: 0,
+            travel_m: 451.36759146956354,
             coverage_pct: 100.0,
             alive: 60,
         },
