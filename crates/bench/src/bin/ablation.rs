@@ -11,7 +11,7 @@
 //! cargo run --release -p wrsn-bench --bin ablation [-- --quick]
 //! ```
 
-use wrsn_bench::{run_grid, ExpOptions, GridPoint};
+use wrsn_bench::{run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;
 use wrsn_energy::ChargeModel;
 use wrsn_metrics::{write_csv, Table};
@@ -71,7 +71,7 @@ fn main() {
         opts.seeds,
         opts.days
     );
-    let results = run_grid(grid, opts.seeds);
+    let results = run_sweep(grid, &opts);
 
     let mut table = Table::new(
         "Ablation — Combined-Scheme, paper workload",

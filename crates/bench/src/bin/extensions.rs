@@ -12,7 +12,7 @@
 //! cargo run --release -p wrsn-bench --bin extensions [-- --quick]
 //! ```
 
-use wrsn_bench::{run_grid, ExpOptions, GridPoint};
+use wrsn_bench::{run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;
 use wrsn_metrics::{write_csv, Table};
 
@@ -42,7 +42,7 @@ fn main() {
         opts.seeds,
         opts.days
     );
-    let results = run_grid(grid, opts.seeds);
+    let results = run_sweep(grid, &opts);
 
     let mut table = Table::new(
         "Extension — paper schemes vs. classical schedulers (K = 0.6)",

@@ -11,7 +11,7 @@
 //! cargo run --release -p wrsn-bench --bin fig4_activity -- --quick # smoke run
 //! ```
 
-use wrsn_bench::{run_grid, ExpOptions, GridPoint};
+use wrsn_bench::{run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;
 use wrsn_metrics::{write_csv, Table};
 use wrsn_sim::ActivityConfig;
@@ -67,7 +67,7 @@ fn main() {
         opts.seeds,
         opts.days
     );
-    let results = run_grid(grid, opts.seeds);
+    let results = run_sweep(grid, &opts);
 
     let mut table = Table::new(
         "Fig. 4 — RV traveling energy (MJ) by activity management case",

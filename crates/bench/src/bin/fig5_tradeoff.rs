@@ -9,7 +9,7 @@
 //! cargo run --release -p wrsn-bench --bin fig5_tradeoff [-- --quick]
 //! ```
 
-use wrsn_bench::{erp_sweep, run_grid, ExpOptions, GridPoint};
+use wrsn_bench::{erp_sweep, run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;
 use wrsn_metrics::{write_csv, Table};
 
@@ -34,7 +34,7 @@ fn main() {
         opts.seeds,
         opts.days
     );
-    let results = run_grid(grid, opts.seeds);
+    let results = run_sweep(grid, &opts);
 
     let mut table = Table::new(
         "Fig. 5 — greedy scheduler: traveling energy vs. target missing rate",

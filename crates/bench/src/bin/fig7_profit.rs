@@ -10,7 +10,7 @@
 //! cargo run --release -p wrsn-bench --bin fig7_profit [-- --quick]
 //! ```
 
-use wrsn_bench::{erp_sweep, run_grid, ExpOptions, GridPoint};
+use wrsn_bench::{erp_sweep, run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;
 use wrsn_metrics::{write_csv, Table};
 
@@ -36,7 +36,7 @@ fn main() {
         opts.seeds,
         opts.days
     );
-    let results = run_grid(grid, opts.seeds);
+    let results = run_sweep(grid, &opts);
 
     type Panel = (
         &'static str,

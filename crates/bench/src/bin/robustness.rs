@@ -13,7 +13,7 @@
 //! cargo run --release -p wrsn-bench --bin robustness [-- --quick]
 //! ```
 
-use wrsn_bench::{run_grid, ExpOptions, GridPoint};
+use wrsn_bench::{run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;
 use wrsn_geom::Deployment;
 use wrsn_metrics::{write_csv, Table};
@@ -80,7 +80,7 @@ fn main() {
         opts.seeds,
         opts.days
     );
-    let results = run_grid(grid, opts.seeds);
+    let results = run_sweep(grid, &opts);
 
     let mut table = Table::new(
         "Robustness — Combined-Scheme under perturbed assumptions",

@@ -14,10 +14,20 @@
 //!   runs and CI (≈ seconds instead of minutes);
 //! * `--days N` — override the simulated duration;
 //! * `--seeds N` — average every grid point over `N` seeds (default 1,
-//!   the paper's single-run style).
+//!   the paper's single-run style);
+//! * `--journal DIR` — keep a write-ahead run journal in `DIR` so a
+//!   killed sweep can be resumed with `--resume` (completed grid points
+//!   are skipped, in-flight ones rerun);
+//! * `--timeout-s S` / `--retries N` — supervise every run with a
+//!   wall-clock watchdog and bounded retries; a run that exhausts its
+//!   attempts lands in [`GridResult::failed_seeds`] instead of aborting
+//!   the sweep.
 
 use std::path::PathBuf;
+use std::time::Duration;
 use wrsn_metrics::{EvalReport, Summary};
+use wrsn_sim::batch::{JobSpec, SupervisorOptions};
+use wrsn_sim::journal::Journal;
 use wrsn_sim::{batch, SimConfig};
 
 /// Options shared by the figure binaries.
@@ -31,6 +41,14 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
+    /// Directory for the write-ahead run journal (`--journal DIR`).
+    pub journal_dir: Option<PathBuf>,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Per-attempt wall-clock timeout in seconds (`--timeout-s`).
+    pub timeout_s: Option<f64>,
+    /// Extra attempts after a panic or timeout (`--retries`).
+    pub retries: u32,
 }
 
 impl Default for ExpOptions {
@@ -40,12 +58,18 @@ impl Default for ExpOptions {
             seeds: 1,
             quick: false,
             out_dir: PathBuf::from("results"),
+            journal_dir: None,
+            resume: false,
+            timeout_s: None,
+            retries: 1,
         }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--quick`, `--days N`, `--seeds N`, `--out DIR` from argv.
+    /// Parses `--quick`, `--days N`, `--seeds N`, `--out DIR`,
+    /// `--journal DIR`, `--resume`, `--timeout-s S`, `--retries N` from
+    /// argv.
     ///
     /// # Panics
     /// Panics with a usage message on malformed flags.
@@ -69,12 +93,38 @@ impl ExpOptions {
                 "--out" => {
                     opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
                 }
+                "--journal" => {
+                    opts.journal_dir = Some(PathBuf::from(
+                        args.next().expect("--journal needs a directory"),
+                    ));
+                }
+                "--resume" => opts.resume = true,
+                "--timeout-s" => {
+                    let v = args.next().expect("--timeout-s needs a value");
+                    opts.timeout_s = Some(v.parse().expect("--timeout-s must be a number"));
+                }
+                "--retries" => {
+                    let v = args.next().expect("--retries needs a value");
+                    opts.retries = v.parse().expect("--retries must be an integer");
+                }
                 other => {
-                    panic!("unknown flag {other}; supported: --quick --days N --seeds N --out DIR")
+                    panic!(
+                        "unknown flag {other}; supported: --quick --days N --seeds N --out DIR \
+                         --journal DIR --resume --timeout-s S --retries N"
+                    )
                 }
             }
         }
         opts
+    }
+
+    /// The supervision settings these options describe.
+    pub fn supervisor_options(&self) -> SupervisorOptions {
+        SupervisorOptions {
+            timeout: self.timeout_s.map(Duration::from_secs_f64),
+            retries: self.retries,
+            ..SupervisorOptions::default()
+        }
     }
 
     /// The base configuration for this experiment scale.
@@ -117,6 +167,17 @@ pub struct GridResult {
     pub failed_seeds: Vec<u64>,
 }
 
+/// Expands a grid into the flat labeled job list the supervised batch
+/// driver and the run journal operate on: every `(point, seed)` pair, in
+/// point-major order, labeled `"{point.label}/seed={seed}"`.
+pub fn grid_jobs(grid: &[GridPoint], seeds: u64) -> Vec<JobSpec> {
+    grid.iter()
+        .flat_map(|point| {
+            (0..seeds).map(|s| JobSpec::new(format!("{}/seed={s}", point.label), &point.config, s))
+        })
+        .collect()
+}
+
 /// Runs every `(grid point, seed)` pair across worker threads and averages
 /// per point. Order of the results matches the input grid, and — because
 /// the batch driver returns outcomes in job order — every per-point seed
@@ -126,12 +187,20 @@ pub struct GridResult {
 /// reported on stderr and in [`GridResult::failed_seeds`] while every
 /// other run completes normally.
 pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
-    let jobs: Vec<(SimConfig, u64)> = grid
-        .iter()
-        .flat_map(|point| (0..seeds).map(|s| (point.config.clone(), s)))
-        .collect();
-    let workers = batch::default_workers(jobs.len());
-    let outcomes = batch::run_batch_fallible(&jobs, workers, None);
+    run_grid_supervised(grid, seeds, &SupervisorOptions::default(), None)
+}
+
+/// [`run_grid`] with explicit supervision: a per-attempt wall-clock
+/// timeout, bounded retries, and an optional write-ahead [`Journal`]
+/// (whose completed jobs are skipped and replayed bit-identically).
+pub fn run_grid_supervised(
+    grid: Vec<GridPoint>,
+    seeds: u64,
+    opts: &SupervisorOptions,
+    journal: Option<&Journal>,
+) -> Vec<GridResult> {
+    let jobs = grid_jobs(&grid, seeds);
+    let outcomes = batch::run_supervised(&jobs, opts, journal);
 
     grid.into_iter()
         .zip(outcomes.chunks(seeds.max(1) as usize))
@@ -144,8 +213,8 @@ pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
                     Err(e) => {
                         failed_seeds.push(seed as u64);
                         eprintln!(
-                            "warning: grid point '{}' seed {seed} failed: {}",
-                            point.label, e.message
+                            "warning: grid point '{}' seed {seed} failed: {e}",
+                            point.label
                         );
                     }
                 }
@@ -161,6 +230,36 @@ pub fn run_grid(grid: Vec<GridPoint>, seeds: u64) -> Vec<GridResult> {
             }
         })
         .collect()
+}
+
+/// The figure binaries' standard sweep entry point: honors the
+/// `--journal`/`--resume`/`--timeout-s`/`--retries` flags in `opts`,
+/// creating or resuming the journal as requested.
+///
+/// # Panics
+/// Panics when `--resume` is set against a missing or drifted journal
+/// (the journal's grid hash pins labels, seeds and configs).
+pub fn run_sweep(grid: Vec<GridPoint>, opts: &ExpOptions) -> Vec<GridResult> {
+    let sup = opts.supervisor_options();
+    let journal = opts.journal_dir.as_ref().map(|dir| {
+        let jobs = grid_jobs(&grid, opts.seeds);
+        let journal = if opts.resume {
+            Journal::resume(dir, &jobs)
+        } else {
+            Journal::create(dir, &jobs)
+        }
+        .unwrap_or_else(|e| panic!("cannot open run journal in {}: {e}", dir.display()));
+        if opts.resume {
+            eprintln!(
+                "resuming from {}: {} of {} runs already complete",
+                journal.path().display(),
+                journal.completed_count(),
+                jobs.len()
+            );
+        }
+        journal
+    });
+    run_grid_supervised(grid, opts.seeds, &sup, journal.as_ref())
 }
 
 fn mean_report(rs: &[EvalReport]) -> EvalReport {
@@ -241,6 +340,76 @@ mod tests {
         assert_eq!(s.len(), 11);
         assert_eq!(s[0], 0.0);
         assert_eq!(s[10], 1.0);
+    }
+
+    #[test]
+    fn timed_out_point_lands_in_failed_seeds() {
+        let mut quick = SimConfig::small(0.05);
+        quick.num_sensors = 40;
+        quick.num_targets = 2;
+        quick.scheduler = SchedulerKind::Greedy;
+        let mut slow = SimConfig::paper_defaults(); // 500 sensors, 120 days
+        slow.scheduler = SchedulerKind::Greedy;
+        let grid = vec![
+            GridPoint {
+                label: "quick".into(),
+                config: quick,
+            },
+            GridPoint {
+                label: "slow".into(),
+                config: slow,
+            },
+        ];
+        let opts = SupervisorOptions {
+            timeout: Some(Duration::from_millis(40)),
+            retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            workers: std::num::NonZeroUsize::new(1),
+            ..SupervisorOptions::default()
+        };
+        let results = run_grid_supervised(grid, 1, &opts, None);
+        assert_eq!(results.len(), 2, "the sweep must finish around the timeout");
+        assert_eq!(
+            results[1].failed_seeds,
+            vec![0],
+            "the timed-out seed must be reported"
+        );
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_with_identical_results() {
+        let dir = std::env::temp_dir().join(format!("wrsn-bench-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mk = || {
+            let mut cfg = SimConfig::small(0.1);
+            cfg.num_sensors = 40;
+            cfg.num_targets = 2;
+            cfg.scheduler = SchedulerKind::Greedy;
+            vec![
+                GridPoint {
+                    label: "a".into(),
+                    config: cfg.clone(),
+                },
+                GridPoint {
+                    label: "b".into(),
+                    config: cfg,
+                },
+            ]
+        };
+        let mut opts = ExpOptions {
+            seeds: 2,
+            journal_dir: Some(dir.clone()),
+            ..ExpOptions::default()
+        };
+        let first = run_sweep(mk(), &opts);
+        opts.resume = true;
+        let second = run_sweep(mk(), &opts); // every run replayed from the journal
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.travel_std_mj, b.travel_std_mj);
+            assert!(a.failed_seeds.is_empty() && b.failed_seeds.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,7 +17,8 @@ USAGE:
                 [--failures RATE] [--trace FILE] [fault flags]
   wrsn watch    [same flags as run] [--frames N] [--width COLS] [--fps N]
   wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
-                [fault flags]
+                [--journal DIR] [--resume] [--timeout-s S] [--retries N]
+                [--csv FILE] [fault flags]
   wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
   wrsn analyze  [--sensors N] [--targets N] [--rvs N] [--utilization F]
   wrsn schedulers
@@ -195,14 +196,81 @@ pub fn watch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `wrsn sweep` — ERP sweep for one scheduler.
+/// `wrsn sweep` — ERP sweep for one scheduler, supervised and optionally
+/// journaled.
+///
+/// With `--journal DIR` every run's completion is recorded write-ahead in
+/// `DIR/journal.jsonl`; after a crash (or `kill -9`), rerunning with
+/// `--resume` skips completed points — their outcomes are replayed
+/// bit-identically, so the final table and `--csv` file are byte-equal to
+/// an uninterrupted sweep's. `--timeout-s` puts a wall-clock watchdog on
+/// each run and `--retries` bounds how often a panicked or timed-out run
+/// is retried before it is reported as failed.
 pub fn sweep(args: &Args) -> Result<(), String> {
+    use wrsn_sim::batch::{run_supervised, JobSpec, SupervisorOptions};
+    use wrsn_sim::journal::Journal;
+
     let base = config_from(args)?;
     let seed: u64 = args.num("seed", 0)?;
     let points: usize = args.num("points", 6)?;
     if points < 2 {
         return Err("--points must be at least 2".into());
     }
+    let timeout_s: f64 = args.num("timeout-s", 0.0)?;
+    let retries: u32 = args.num("retries", 1)?;
+    let opts = SupervisorOptions {
+        timeout: (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s)),
+        retries,
+        ..SupervisorOptions::default()
+    };
+
+    // The sweep points are independent runs: fan out over the std-only
+    // batch driver. Results come back in point order whatever the worker
+    // count, so the table is identical to the old serial loop's.
+    let erps: Vec<f64> = (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect();
+    let jobs: Vec<JobSpec> = erps
+        .iter()
+        .map(|&k| {
+            let mut cfg = base.clone();
+            cfg.activity.erp = Some(k);
+            JobSpec::new(
+                format!("{}/erp={k:.2}/seed={seed}", base.scheduler),
+                &cfg,
+                seed,
+            )
+        })
+        .collect();
+
+    let journal = match args.opt("journal") {
+        Some(dir) => Some(
+            if args.is_set("resume") {
+                Journal::resume(dir, &jobs).inspect(|j| {
+                    eprintln!(
+                        "resuming from {}: {} of {} runs already complete",
+                        j.path().display(),
+                        j.completed_count(),
+                        jobs.len()
+                    );
+                })
+            } else {
+                Journal::create(dir, &jobs)
+            }
+            .map_err(|e| format!("run journal in {dir}: {e}"))?,
+        ),
+        None => {
+            if args.is_set("resume") {
+                return Err("--resume needs --journal DIR".into());
+            }
+            None
+        }
+    };
+
+    // Crash-isolated: one bad point reports its panic and the rest of the
+    // sweep still completes and prints.
+    let outcomes = run_supervised(&jobs, &opts, journal.as_ref());
+
     let mut table = Table::new(
         &format!(
             "{} — ERP sweep, {} days, seed {seed}",
@@ -210,49 +278,45 @@ pub fn sweep(args: &Args) -> Result<(), String> {
         ),
         &["ERP", "travel MJ", "recharged MJ", "coverage %", "dead %"],
     );
-    // The sweep points are independent runs: fan out over the std-only
-    // batch driver. Results come back in point order whatever the worker
-    // count, so the table is identical to the old serial loop's.
-    let erps: Vec<f64> = (0..points)
-        .map(|i| i as f64 / (points - 1) as f64)
-        .collect();
-    let jobs: Vec<(wrsn_sim::SimConfig, u64)> = erps
-        .iter()
-        .map(|&k| {
-            let mut cfg = base.clone();
-            cfg.activity.erp = Some(k);
-            (cfg, seed)
-        })
-        .collect();
-    // Crash-isolated: one bad point reports its panic and the rest of the
-    // sweep still completes and prints.
-    let outcomes = wrsn_sim::batch::run_batch_fallible(
-        &jobs,
-        wrsn_sim::batch::default_workers(jobs.len()),
-        None,
-    );
+    let mut csv = String::from("erp,travel_mj,recharged_mj,coverage_pct,nonfunctional_pct\n");
     let mut failed = 0usize;
     for (k, out) in erps.iter().zip(&outcomes) {
         match out {
-            Ok(out) => table.row_f64(
-                &format!("{k:.2}"),
-                &[
+            Ok(out) => {
+                table.row_f64(
+                    &format!("{k:.2}"),
+                    &[
+                        out.report.travel_energy_mj,
+                        out.report.recharged_mj,
+                        out.report.coverage_ratio_pct,
+                        out.report.nonfunctional_pct,
+                    ],
+                    3,
+                );
+                // `{}` on f64 prints the shortest round-trip form, so a
+                // resumed sweep's CSV is byte-identical to an
+                // uninterrupted one's.
+                csv.push_str(&format!(
+                    "{k},{},{},{},{}\n",
                     out.report.travel_energy_mj,
                     out.report.recharged_mj,
                     out.report.coverage_ratio_pct,
                     out.report.nonfunctional_pct,
-                ],
-                3,
-            ),
+                ));
+            }
             Err(e) => {
                 failed += 1;
-                eprintln!("warning: sweep point ERP={k:.2} failed: {}", e.message);
+                eprintln!("warning: sweep point failed: {e}");
             }
         }
     }
     print!("{}", table.render());
     if failed > 0 {
         eprintln!("{failed} of {points} sweep points failed; see warnings above");
+    }
+    if let Some(path) = args.opt("csv") {
+        std::fs::write(path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
     }
     Ok(())
 }
@@ -514,5 +578,46 @@ mod tests {
     fn sweep_rejects_single_point() {
         let a = args("sweep --points 1");
         assert!(sweep(&a).is_err());
+    }
+
+    #[test]
+    fn resume_without_journal_is_rejected() {
+        let a = args("sweep --resume");
+        let err = sweep(&a).unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+    }
+
+    #[test]
+    fn journaled_sweep_replays_to_identical_csv() {
+        let dir = std::env::temp_dir().join(format!("wrsn-cli-sweep-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = "sweep --sensors 40 --targets 2 --rvs 1 --field 50 --days 0.1 --points 3";
+        let (csv_a, csv_b) = (dir.join("a.csv"), dir.join("b.csv"));
+        let jdir = dir.join("journal");
+
+        // Uninterrupted sweep.
+        sweep(&args(&format!("{base} --csv {}", csv_a.display()))).unwrap();
+        // Journaled sweep, then a resume replaying every completed run.
+        sweep(&args(&format!("{base} --journal {}", jdir.display()))).unwrap();
+        sweep(&args(&format!(
+            "{base} --journal {} --resume --csv {}",
+            jdir.display(),
+            csv_b.display()
+        )))
+        .unwrap();
+
+        assert_eq!(
+            std::fs::read(&csv_a).unwrap(),
+            std::fs::read(&csv_b).unwrap(),
+            "resumed sweep's CSV must be byte-identical to the uninterrupted one's"
+        );
+        // A drifted config must be refused on resume.
+        let drifted = sweep(&args(&format!(
+            "{base} --fault-uplink-loss 0.2 --journal {} --resume",
+            jdir.display()
+        )));
+        assert!(drifted.unwrap_err().contains("drifted"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

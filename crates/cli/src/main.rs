@@ -5,6 +5,8 @@
 //!               [--scheduler NAME] [--erp K] [--no-rr] [--seed S]
 //!               [--failures RATE] [--trace FILE]
 //! wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
+//!               [--journal DIR] [--resume] [--timeout-s S] [--retries N]
+//!               [--csv FILE]
 //! wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
 //! wrsn schedulers
 //! ```

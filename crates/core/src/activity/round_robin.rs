@@ -34,6 +34,31 @@ impl RoundRobinRota {
         &self.members
     }
 
+    /// Index of the currently scheduled member within [`RoundRobinRota::members`]
+    /// — the rotation's full mutable state, exposed so simulation
+    /// snapshots can persist and restore a rota mid-rotation.
+    #[inline]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Rebuilds a rota from a snapshot: the member list (normalized like
+    /// [`RoundRobinRota::new`]) plus a previously captured
+    /// [`RoundRobinRota::cursor`].
+    ///
+    /// # Panics
+    /// Panics on an empty member list or a cursor outside it.
+    pub fn restore(members: Vec<SensorId>, cursor: usize) -> Self {
+        let mut rota = Self::new(members);
+        assert!(
+            cursor < rota.members.len(),
+            "rota cursor {cursor} out of range for {} members",
+            rota.members.len()
+        );
+        rota.cursor = cursor;
+        rota
+    }
+
     /// The member currently scheduled to be active. Note this ignores
     /// liveness; use [`RoundRobinRota::active`] to resolve against
     /// depletion.
@@ -106,6 +131,22 @@ mod tests {
         assert_eq!(r.active(all_alive), Some(SensorId(3)));
         r.advance(all_alive);
         assert_eq!(r.active(all_alive), Some(SensorId(1)));
+    }
+
+    #[test]
+    fn restore_resumes_mid_rotation() {
+        let mut r = RoundRobinRota::new(ids(&[1, 2, 3]));
+        let all_alive = |_s: SensorId| true;
+        r.advance(all_alive);
+        let copy = RoundRobinRota::restore(r.members().to_vec(), r.cursor());
+        assert_eq!(copy, r);
+        assert_eq!(copy.active(all_alive), Some(SensorId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restore_rejects_wild_cursor() {
+        let _ = RoundRobinRota::restore(ids(&[1, 2]), 5);
     }
 
     #[test]

@@ -121,6 +121,14 @@ impl Battery {
         self.capacity
     }
 
+    /// The charging model in effect (simulation-snapshot access; pair with
+    /// [`Battery::with_level`] + [`Battery::with_charge_model`] to rebuild
+    /// the exact battery).
+    #[inline]
+    pub fn charge_model(&self) -> ChargeModel {
+        self.model
+    }
+
     /// Current level in Joules.
     #[inline]
     pub fn level(&self) -> f64 {

@@ -93,6 +93,53 @@ impl EvalMetrics {
         self.recharge_visits
     }
 
+    /// The sampled coverage-ratio series (simulation-snapshot access).
+    pub fn coverage_series(&self) -> &TimeSeries {
+        &self.coverage
+    }
+
+    /// The sampled nonfunctional-fraction series.
+    pub fn nonfunctional_series(&self) -> &TimeSeries {
+        &self.nonfunctional
+    }
+
+    /// The sampled operational-sensor-count series.
+    pub fn operational_series(&self) -> &TimeSeries {
+        &self.operational
+    }
+
+    /// Rebuilds an accumulator from previously captured state — the
+    /// counters plus the three sampled series. Restoring and continuing to
+    /// sample is bit-identical to never having paused.
+    ///
+    /// # Panics
+    /// Panics on negative counters (the `record_*` methods could never
+    /// have produced them).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        travel_distance_m: f64,
+        travel_energy_j: f64,
+        recharged_j: f64,
+        recharge_visits: u64,
+        coverage: TimeSeries,
+        nonfunctional: TimeSeries,
+        operational: TimeSeries,
+    ) -> Self {
+        assert!(
+            travel_distance_m >= 0.0 && travel_energy_j >= 0.0 && recharged_j >= 0.0,
+            "metric counters must be non-negative"
+        );
+        Self {
+            travel_distance_m,
+            travel_energy_j,
+            recharged_j,
+            recharge_visits,
+            coverage,
+            nonfunctional,
+            operational,
+        }
+    }
+
     /// Finalizes the paper-facing report.
     pub fn report(&self) -> EvalReport {
         let coverage = self.coverage.time_weighted_mean();
@@ -170,6 +217,25 @@ mod tests {
         assert!((r.nonfunctional_pct - 2.0).abs() < 1e-9);
         assert!((r.recharging_cost_m_per_sensor - 10.0).abs() < 1e-9);
         assert!((r.objective_mj - (1.0e6 - 5_600.0) * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restore_round_trips_and_reports_identically() {
+        let mut m = EvalMetrics::new();
+        m.record_travel(1_000.0, 5_600.0);
+        m.record_recharge(1.0e6);
+        m.sample(0.0, 0.9, 0.1, 90);
+        m.sample(60.0, 0.8, 0.2, 80);
+        let copy = EvalMetrics::restore(
+            m.travel_distance_m(),
+            m.travel_energy_j(),
+            m.recharged_j(),
+            m.recharge_visits(),
+            m.coverage_series().clone(),
+            m.nonfunctional_series().clone(),
+            m.operational_series().clone(),
+        );
+        assert_eq!(copy.report(), m.report());
     }
 
     #[test]

@@ -19,6 +19,30 @@ impl TimeSeries {
         Self::default()
     }
 
+    /// Rebuilds a series from previously captured [`TimeSeries::times`] /
+    /// [`TimeSeries::values`] slices (simulation-snapshot restore). The
+    /// restored series is bit-identical to the captured one.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ, any sample is non-finite, or times
+    /// decrease — the same constraints [`TimeSeries::push`] enforces.
+    pub fn from_samples(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            times.len(),
+            values.len(),
+            "times and values must pair up 1:1"
+        );
+        assert!(
+            times.iter().chain(&values).all(|v| v.is_finite()),
+            "samples must be finite"
+        );
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "time must be non-decreasing"
+        );
+        Self { times, values }
+    }
+
     /// Appends a sample. Times must be non-decreasing.
     ///
     /// # Panics
@@ -123,6 +147,23 @@ mod tests {
         s.push(1.0, 0.0); // holds 9 s
         s.push(10.0, 99.0); // terminal, zero weight
         assert!((s.time_weighted_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_samples_round_trips() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        s.push(2.0, 3.0);
+        let copy = TimeSeries::from_samples(s.times().to_vec(), s.values().to_vec());
+        assert_eq!(copy.times(), s.times());
+        assert_eq!(copy.values(), s.values());
+        assert_eq!(copy.time_weighted_mean(), s.time_weighted_mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn from_samples_rejects_length_mismatch() {
+        let _ = TimeSeries::from_samples(vec![0.0], vec![1.0, 2.0]);
     }
 
     #[test]

@@ -28,8 +28,9 @@ use crate::{SimConfig, SimOutcome, World};
 use std::any::Any;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 /// Number of worker threads to use for a batch of `jobs` jobs: the
 /// machine's available parallelism, but never more threads than jobs and
@@ -48,13 +49,24 @@ pub fn default_workers(jobs: usize) -> NonZeroUsize {
 pub struct JobPanic {
     /// Index of the panicking job in the input list.
     pub index: usize,
+    /// Human-readable grid-point label (`scheduler/K/seed`) when the job
+    /// came from a labeled sweep; empty for anonymous index-only jobs.
+    pub label: String,
     /// The panic payload as text.
     pub message: String,
 }
 
 impl std::fmt::Display for JobPanic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job {} panicked: {}", self.index, self.message)
+        if self.label.is_empty() {
+            write!(f, "job {} panicked: {}", self.index, self.message)
+        } else {
+            write!(
+                f,
+                "job {} ({}) panicked: {}",
+                self.index, self.label, self.message
+            )
+        }
     }
 }
 
@@ -133,6 +145,7 @@ where
         .map(|(index, r)| {
             r.map_err(|payload| JobPanic {
                 index,
+                label: String::new(),
                 message: panic_message(payload.as_ref()),
             })
         })
@@ -200,6 +213,210 @@ pub fn run_batch_fallible(
     par_try_map(jobs.len(), workers, |i| {
         let (cfg, seed) = &jobs[i];
         run_one(cfg, *seed, sim_time_cap_s)
+    })
+}
+
+// --- Supervised execution ------------------------------------------------
+
+/// One labeled sweep job: a grid-point label (scheduler/K/seed style), the
+/// configuration, and the seed. The label travels into [`JobPanic`]s,
+/// `failed_seeds` diagnostics and the run journal.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable grid-point label, e.g. `combined/K=0.60/seed=7`.
+    pub label: String,
+    /// The configuration to simulate.
+    pub config: SimConfig,
+    /// The run's seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// Builds one labeled job.
+    pub fn new(label: impl Into<String>, config: &SimConfig, seed: u64) -> Self {
+        Self {
+            label: label.into(),
+            config: config.clone(),
+            seed,
+        }
+    }
+}
+
+/// Supervision policy for [`run_supervised`]: per-job wall-clock timeout,
+/// bounded retries with exponential backoff, optional simulated-time cap,
+/// worker-count override.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Per-attempt wall-clock budget. `None` disables the watchdog (the
+    /// job runs inline on the worker thread).
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first one fails or times out.
+    pub retries: u32,
+    /// Base delay before a retry; doubles per consecutive retry
+    /// (exponential backoff).
+    pub retry_backoff: Duration,
+    /// Optional simulated-time cap forwarded to every job.
+    pub sim_time_cap_s: Option<f64>,
+    /// Worker-thread override (default: [`default_workers`]).
+    pub workers: Option<NonZeroUsize>,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        Self {
+            timeout: None,
+            retries: 1,
+            retry_backoff: Duration::from_millis(50),
+            sim_time_cap_s: None,
+            workers: None,
+        }
+    }
+}
+
+/// One attempt's verdict inside the supervisor.
+enum Attempt {
+    Done(SimOutcome),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Cancellable run loop: checks the token between ticks, so a timed-out
+/// job stops gracefully at the next tick boundary instead of leaking a
+/// runaway thread. Returns `None` when cancelled before finishing.
+fn run_one_cancellable(
+    cfg: &SimConfig,
+    seed: u64,
+    sim_time_cap_s: Option<f64>,
+    cancel: &AtomicBool,
+) -> Option<SimOutcome> {
+    let mut w = World::new(cfg, seed);
+    while !w.finished() && sim_time_cap_s.is_none_or(|cap| w.time() < cap) {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        w.step();
+    }
+    Some(w.outcome())
+}
+
+/// Runs one attempt, with a watchdog when a timeout is configured: the job
+/// runs on its own thread, the supervisor waits on a channel with
+/// [`mpsc::Receiver::recv_timeout`], and on expiry sets the cancel token
+/// and joins the worker (which exits at its next tick check).
+fn run_attempt(spec: &JobSpec, opts: &SupervisorOptions) -> Attempt {
+    let Some(budget) = opts.timeout else {
+        return match catch_unwind(AssertUnwindSafe(|| {
+            run_one(&spec.config, spec.seed, opts.sim_time_cap_s)
+        })) {
+            Ok(out) => Attempt::Done(out),
+            Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+        };
+    };
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let worker = {
+        let cfg = spec.config.clone();
+        let seed = spec.seed;
+        let cap = opts.sim_time_cap_s;
+        let cancel = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_one_cancellable(&cfg, seed, cap, &cancel)
+            }));
+            let _ = tx.send(result);
+        })
+    };
+    let verdict = rx.recv_timeout(budget);
+    // Cancel unconditionally (a no-op for a finished worker) and reap the
+    // thread — after the join no stray thread survives the attempt.
+    cancel.store(true, Ordering::Relaxed);
+    let _ = worker.join();
+    match verdict {
+        Ok(Ok(Some(out))) => Attempt::Done(out),
+        // The worker only returns None once the token is set, i.e. after
+        // the deadline — both arms are the same timeout verdict.
+        Ok(Ok(None)) | Err(mpsc::RecvTimeoutError::Timeout) => Attempt::TimedOut,
+        Ok(Err(payload)) => Attempt::Panicked(panic_message(payload.as_ref())),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Attempt::Panicked("worker thread died without reporting a result".to_string())
+        }
+    }
+}
+
+/// Supervises one job: journal-replay skip, attempt/retry loop with
+/// exponential backoff, write-ahead journaling of every transition.
+fn supervise_one(
+    index: usize,
+    spec: &JobSpec,
+    opts: &SupervisorOptions,
+    journal: Option<&crate::journal::Journal>,
+) -> Result<SimOutcome, JobPanic> {
+    if let Some(j) = journal {
+        if let Some(done) = j.completed(index) {
+            return Ok(done.clone());
+        }
+    }
+    let mut last_error = String::new();
+    for attempt_no in 0..=opts.retries {
+        if attempt_no > 0 {
+            let factor = 1u32 << (attempt_no - 1).min(16);
+            std::thread::sleep(opts.retry_backoff * factor);
+        }
+        if let Some(j) = journal {
+            j.record_start(index, spec, attempt_no);
+        }
+        match run_attempt(spec, opts) {
+            Attempt::Done(out) => {
+                if let Some(j) = journal {
+                    j.record_done(index, &out);
+                }
+                return Ok(out);
+            }
+            Attempt::Panicked(msg) => {
+                if let Some(j) = journal {
+                    j.record_panic(index, attempt_no, &msg);
+                }
+                last_error = format!("panicked: {msg}");
+            }
+            Attempt::TimedOut => {
+                let budget_s = opts.timeout.map(|d| d.as_secs_f64()).unwrap_or(0.0);
+                if let Some(j) = journal {
+                    j.record_timeout(index, attempt_no, budget_s);
+                }
+                last_error = format!("timed out after {budget_s} s of wall clock");
+            }
+        }
+    }
+    let message = format!("{last_error} ({} attempts)", opts.retries + 1);
+    if let Some(j) = journal {
+        j.record_give_up(index, &message);
+    }
+    Err(JobPanic {
+        index,
+        label: spec.label.clone(),
+        message,
+    })
+}
+
+/// Supervised, journaled sweep execution: every labeled job runs under the
+/// watchdog/retry policy in `opts`, optionally journaled to `journal`
+/// (write-ahead: started/completed/failed/timed-out records land before
+/// the next state transition, so a `kill -9` can lose at most in-flight
+/// work, never completed results). Jobs the journal already holds as
+/// completed are **skipped** and their recorded outcomes returned
+/// bit-identically.
+///
+/// Like the rest of the module, results come back in job order whatever
+/// the worker count; a job that exhausts its attempts yields a labeled
+/// [`JobPanic`] while the rest of the batch completes.
+pub fn run_supervised(
+    jobs: &[JobSpec],
+    opts: &SupervisorOptions,
+    journal: Option<&crate::journal::Journal>,
+) -> Vec<Result<SimOutcome, JobPanic>> {
+    let workers = opts.workers.unwrap_or_else(|| default_workers(jobs.len()));
+    par_map(jobs.len(), workers, |i| {
+        supervise_one(i, &jobs[i], opts, journal)
     })
 }
 
@@ -442,5 +659,106 @@ mod tests {
         assert_eq!(default_workers(1).get(), 1);
         assert!(default_workers(0).get() >= 1);
         assert!(default_workers(1_000).get() >= 1);
+    }
+
+    #[test]
+    fn supervised_run_matches_plain_batch() {
+        let cfg = tiny(0.1, SchedulerKind::Greedy);
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|s| JobSpec::new(format!("greedy/seed={s}"), &cfg, s))
+            .collect();
+        let out = run_supervised(&jobs, &SupervisorOptions::default(), None);
+        for (s, r) in out.iter().enumerate() {
+            let solo = World::new(&cfg, s as u64).run();
+            assert_eq!(r.as_ref().unwrap().report, solo.report);
+        }
+    }
+
+    #[test]
+    fn supervised_panic_carries_the_grid_label() {
+        let good = tiny(0.1, SchedulerKind::Greedy);
+        let mut bad = good.clone();
+        bad.tick_s = f64::NAN;
+        let jobs = vec![
+            JobSpec::new("greedy/seed=0", &good, 0),
+            JobSpec::new("greedy/broken-point/seed=1", &bad, 1),
+        ];
+        let opts = SupervisorOptions {
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..SupervisorOptions::default()
+        };
+        let out = run_supervised(&jobs, &opts, None);
+        assert!(out[0].is_ok(), "good job must survive its neighbor");
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.label, "greedy/broken-point/seed=1");
+        assert!(err.message.contains("3 attempts"), "{}", err.message);
+        let shown = err.to_string();
+        assert!(shown.contains("greedy/broken-point/seed=1"), "{shown}");
+    }
+
+    #[test]
+    fn timed_out_job_is_retried_then_reported_without_aborting_the_batch() {
+        // The ISSUE's watchdog criterion: a job exceeding its wall-clock
+        // budget is cancelled, retried, and finally reported as failed
+        // while the rest of the batch completes normally.
+        let quick = tiny(0.05, SchedulerKind::Greedy);
+        let mut slow = SimConfig::paper_defaults(); // 500 sensors, 120 days
+        slow.scheduler = SchedulerKind::Greedy;
+        let jobs = vec![
+            JobSpec::new("quick/seed=0", &quick, 0),
+            JobSpec::new("slow/seed=0", &slow, 0),
+        ];
+        let opts = SupervisorOptions {
+            timeout: Some(Duration::from_millis(40)),
+            retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            workers: NonZeroUsize::new(1),
+            ..SupervisorOptions::default()
+        };
+        let out = run_supervised(&jobs, &opts, None);
+        // The quick job is far below any sane wall-clock budget... but a
+        // 40 ms budget on a loaded CI box may still clip it, so only the
+        // slow job's verdict is asserted strictly.
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.label, "slow/seed=0");
+        assert!(err.message.contains("timed out"), "{}", err.message);
+        assert!(err.message.contains("2 attempts"), "{}", err.message);
+    }
+
+    #[test]
+    fn journal_records_every_retry_attempt() {
+        let dir = std::env::temp_dir().join(format!("wrsn-batch-retries-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut bad = tiny(0.05, SchedulerKind::Greedy);
+        bad.tick_s = f64::NAN;
+        let jobs = vec![JobSpec::new("broken/seed=0", &bad, 0)];
+        let opts = SupervisorOptions {
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..SupervisorOptions::default()
+        };
+        let journal = crate::journal::Journal::create(&dir, &jobs).expect("create");
+        let out = run_supervised(&jobs, &opts, Some(&journal));
+        assert!(out[0].is_err());
+        drop(journal);
+        let text =
+            std::fs::read_to_string(dir.join(crate::journal::JOURNAL_FILE)).expect("journal");
+        let starts = text
+            .lines()
+            .filter(|l| l.contains(r#""kind":"start""#))
+            .count();
+        let panics = text
+            .lines()
+            .filter(|l| l.contains(r#""kind":"panic""#))
+            .count();
+        let give_ups = text
+            .lines()
+            .filter(|l| l.contains(r#""kind":"give_up""#))
+            .count();
+        assert_eq!(starts, 3, "retries must be journaled write-ahead:\n{text}");
+        assert_eq!(panics, 3, "{text}");
+        assert_eq!(give_ups, 1, "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -117,6 +117,13 @@ impl FaultConfig {
         }
     }
 
+    /// Stable 64-bit content hash of the fault plan (FNV-1a over the
+    /// snapshot codec's canonical encoding, f64s as IEEE bits). Equal
+    /// plans hash equal across processes; any field change changes it.
+    pub fn content_hash(&self) -> u64 {
+        crate::snapshot::fault_hash(self)
+    }
+
     /// Whether any fault class is enabled.
     pub fn any_enabled(&self) -> bool {
         self.rv_breakdowns_per_day > 0.0 || self.uplink_loss > 0.0 || self.transients_per_day > 0.0
@@ -308,6 +315,16 @@ impl SimConfig {
         cfg.duration_s = units::days(days);
         cfg.duration_days = days;
         cfg
+    }
+
+    /// Stable 64-bit content hash of the full configuration — every field
+    /// including nested device models and the [`FaultConfig`] plan —
+    /// computed as FNV-1a over the snapshot codec's canonical encoding
+    /// (f64s as IEEE bits). Equal configs hash equal across processes and
+    /// runs; the run journal uses it to refuse resuming a sweep whose
+    /// config drifted.
+    pub fn content_hash(&self) -> u64 {
+        crate::snapshot::config_hash(self)
     }
 
     /// Basic sanity checks, called by the engine at construction.

@@ -55,6 +55,10 @@ use wrsn_net::{CommGraph, TrafficLoad};
 /// the read-only views the public API needs.
 pub(crate) struct WorldState {
     pub(crate) cfg: SimConfig,
+    /// The seed the world was built from. Mutable state never depends on
+    /// it after construction, but snapshots persist it so derived state
+    /// (the scheduler's K-means initialization) can be rebuilt on resume.
+    pub(crate) seed: u64,
     pub(crate) scheduler: Box<dyn RechargePolicy + Send + Sync>,
     pub(crate) rng: StdRng,
     pub(crate) t: f64,
@@ -203,6 +207,7 @@ impl WorldState {
         let initial_sensor_j: f64 = batteries.iter().map(|b| b.level()).sum();
         let initial_fleet_j = cfg.num_rvs as f64 * cfg.rv_model.battery_capacity_j;
         let mut state = Self {
+            seed,
             scheduler,
             rng,
             t: 0.0,

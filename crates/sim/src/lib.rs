@@ -34,9 +34,11 @@
 pub mod batch;
 mod config;
 mod engine;
+pub mod journal;
 pub mod render;
 mod request;
 mod rv_agent;
+pub mod snapshot;
 mod trace;
 mod world;
 

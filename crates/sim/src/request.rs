@@ -154,6 +154,51 @@ impl RequestBoard {
     pub fn released_count(&self) -> usize {
         self.released.iter().filter(|&&r| r).count()
     }
+
+    /// Raw per-sensor stage columns, in declaration order — the board's
+    /// full mutable state, exposed for simulation snapshots.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw(&self) -> (&[bool], &[bool], &[bool], &[f64], &[u32], &[f64]) {
+        (
+            &self.pending,
+            &self.released,
+            &self.assigned,
+            &self.released_at,
+            &self.attempts,
+            &self.retry_at,
+        )
+    }
+
+    /// Rebuilds a board from columns captured by [`RequestBoard::raw`].
+    ///
+    /// # Panics
+    /// Panics when the columns disagree on length.
+    pub(crate) fn from_raw(
+        pending: Vec<bool>,
+        released: Vec<bool>,
+        assigned: Vec<bool>,
+        released_at: Vec<f64>,
+        attempts: Vec<u32>,
+        retry_at: Vec<f64>,
+    ) -> Self {
+        let n = pending.len();
+        assert!(
+            released.len() == n
+                && assigned.len() == n
+                && released_at.len() == n
+                && attempts.len() == n
+                && retry_at.len() == n,
+            "request-board columns must share one length"
+        );
+        Self {
+            pending,
+            released,
+            assigned,
+            released_at,
+            attempts,
+            retry_at,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,36 @@ impl Trace {
         self.dropped
     }
 
+    /// The retention cap (0 for a disabled trace).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Rebuilds a trace from previously captured state (simulation-snapshot
+    /// restore). A disabled trace must carry no events; an enabled one must
+    /// fit its cap.
+    ///
+    /// # Panics
+    /// Panics when `events` exceeds `cap` on an enabled trace, or when a
+    /// disabled trace carries events.
+    pub fn restore(events: Vec<TraceEvent>, enabled: bool, cap: usize, dropped: u64) -> Self {
+        if enabled {
+            assert!(
+                events.len() <= cap,
+                "restored trace holds {} events over its cap {cap}",
+                events.len()
+            );
+        } else {
+            assert!(events.is_empty(), "disabled trace cannot carry events");
+        }
+        Self {
+            events,
+            enabled,
+            cap,
+            dropped,
+        }
+    }
+
     /// Renders the retained events as CSV (with header).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_s,kind,subject,detail1,detail2\n");

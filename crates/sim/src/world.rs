@@ -50,6 +50,15 @@ pub struct World {
     state: WorldState,
 }
 
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("t", &self.state.t)
+            .field("seed", &self.state.seed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl World {
     /// Builds the world from a configuration and a seed. Identical
     /// `(config, seed)` pairs produce identical runs.
@@ -277,6 +286,39 @@ impl World {
     /// every tick in debug builds; release-mode tests call it explicitly.
     pub fn check_invariants(&self) -> Result<(), String> {
         engine::invariants::check(&self.state)
+    }
+
+    /// Serializes the full world into a versioned binary snapshot (see
+    /// [`crate::snapshot`]). Resuming from it with [`World::resume`] and
+    /// stepping to any later tick is bit-identical to never having
+    /// paused — traces, metrics and energy ledgers included.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode(&self.state)
+    }
+
+    /// Writes [`World::save_snapshot`] to `path` atomically (temp file +
+    /// rename), so a crash mid-write can never leave a torn checkpoint.
+    pub fn save_snapshot_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, self.save_snapshot())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Rebuilds a world from a snapshot produced by
+    /// [`World::save_snapshot`]. The continuation is bit-identical to the
+    /// uninterrupted run.
+    pub fn resume(bytes: &[u8]) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(Self {
+            state: crate::snapshot::decode(bytes)?,
+        })
+    }
+
+    /// [`World::resume`] from a file written by [`World::save_snapshot_to`].
+    pub fn resume_from(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Self::resume(&std::fs::read(path)?)
     }
 
     /// The request board (read-only view for tests/diagnostics).
