@@ -65,6 +65,56 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
+/// A budget sized for long routes: the cached-vs-naive gap scales with the
+/// number of insertion rounds, so the builder benchmark wants ~100 stops.
+fn builder_input(n: usize, seed: u64) -> ScheduleInput {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut input = synthetic_input(n, 1, seed);
+    // Demands small relative to the budget so the route keeps growing —
+    // at n=1000 nearly every site ends up inserted, which is the regime
+    // (paper-scale RV capacity vs sensor-scale demands) where the naive
+    // per-round rescan hurts most.
+    for (i, r) in input.requests.iter_mut().enumerate() {
+        r.demand = rng.gen_range(300.0..900.0);
+        // Pair up a third of the requests so site aggregation is
+        // exercised without mega-clusters swallowing the budget.
+        if i % 3 == 0 {
+            r.cluster = Some(wrsn_core::ClusterId((i / 6) as u32));
+        }
+        if i % 11 == 0 {
+            r.critical = true;
+        }
+    }
+    input.rvs[0].available_energy = 1e6;
+    input
+}
+
+fn bench_builder_cache(c: &mut Criterion) {
+    use wrsn_core::scheduling::oracle::{cached_site_route, naive_site_route};
+
+    let mut group = c.benchmark_group("builder");
+    // The naive builder at 1000 sites runs tens of milliseconds per plan;
+    // a small sample keeps the bench finite without losing the median.
+    group.sample_size(10);
+    for &n in &[10usize, 100, 1000] {
+        let input = builder_input(n, 13);
+        // Divergence gate: the bench doubles as a smoke test, so a cached
+        // route that differs from the oracle's fails the run outright.
+        assert_eq!(
+            cached_site_route(&input),
+            naive_site_route(&input),
+            "cached builder diverged from the naive oracle at n={n}"
+        );
+        group.bench_with_input(BenchmarkId::new("naive", n), &input, |b, inp| {
+            b.iter(|| naive_site_route(inp))
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &input, |b, inp| {
+            b.iter(|| cached_site_route(inp))
+        });
+    }
+    group.finish();
+}
+
 fn bench_fleet_width(c: &mut Criterion) {
     // Eq. (19)/(20): Partition divides the list into m groups while
     // Combined re-plans globally per RV — scaling in the RV count.
@@ -82,5 +132,10 @@ fn bench_fleet_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_fleet_width);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_builder_cache,
+    bench_fleet_width
+);
 criterion_main!(benches);

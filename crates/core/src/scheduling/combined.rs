@@ -1,6 +1,6 @@
 //! §IV-D-2 Combined-Scheme: global sequential insertion across all RVs.
 
-use super::{build_site_route, build_sites, expand_route, RechargePolicy};
+use super::{expand_route, ExecMode, InsertScratch, RechargePolicy};
 use crate::{RvRoute, ScheduleInput};
 
 /// The Combined-Scheme: Algorithm 3 is run for the first RV over the
@@ -12,17 +12,26 @@ use crate::{RvRoute, ScheduleInput};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CombinedPolicy;
 
-impl RechargePolicy for CombinedPolicy {
-    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
-        let sites = build_sites(input);
+impl CombinedPolicy {
+    pub(crate) fn plan_impl(&self, input: &ScheduleInput, mode: ExecMode) -> Vec<RvRoute> {
+        let sites = mode.build_sites(input);
         let mut available = vec![true; sites.len()];
+        // One scratch for the whole planning call: the distance memo stays
+        // valid across the sequential per-RV builder passes.
+        let mut scratch = InsertScratch::for_sites(&sites);
         let mut routes = Vec::new();
         for rv in &input.rvs {
             if !available.iter().any(|&a| a) {
                 break;
             }
-            let site_route =
-                build_site_route(&sites, &mut available, rv, input.base, input.cost_per_m);
+            let site_route = mode.build_site_route(
+                &sites,
+                &mut available,
+                rv,
+                input.base,
+                input.cost_per_m,
+                &mut scratch,
+            );
             if site_route.is_empty() {
                 continue;
             }
@@ -30,6 +39,12 @@ impl RechargePolicy for CombinedPolicy {
             routes.push(RvRoute { rv: rv.id, stops });
         }
         routes
+    }
+}
+
+impl RechargePolicy for CombinedPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        self.plan_impl(input, ExecMode::Fast)
     }
 
     fn name(&self) -> &'static str {

@@ -16,7 +16,7 @@
 //! controls how hard urgency dominates travel cost. With `β = 0` the
 //! policy degenerates to the plain Combined-Scheme.
 
-use super::{build_site_route, expand_route, RechargePolicy};
+use super::{expand_route, ExecMode, InsertScratch, RechargePolicy};
 use crate::{RvRoute, ScheduleInput};
 
 /// Urgency-weighted multi-RV scheduler (Combined-Scheme skeleton with
@@ -47,9 +47,9 @@ impl Default for DeadlinePolicy {
     }
 }
 
-impl RechargePolicy for DeadlinePolicy {
-    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
-        let mut sites = super::build_sites(input);
+impl DeadlinePolicy {
+    pub(crate) fn plan_impl(&self, input: &ScheduleInput, mode: ExecMode) -> Vec<RvRoute> {
+        let mut sites = mode.build_sites(input);
         if sites.is_empty() {
             return Vec::new();
         }
@@ -67,6 +67,7 @@ impl RechargePolicy for DeadlinePolicy {
         }
 
         let mut available = vec![true; sites.len()];
+        let mut scratch = InsertScratch::for_sites(&sites);
         let mut routes = Vec::new();
         for rv in &input.rvs {
             if !available.iter().any(|&a| a) {
@@ -75,8 +76,14 @@ impl RechargePolicy for DeadlinePolicy {
             // Feasibility inside the builder uses the weighted demands,
             // which over-state the energy drawn — conservative, never a
             // capacity violation.
-            let site_route =
-                build_site_route(&sites, &mut available, rv, input.base, input.cost_per_m);
+            let site_route = mode.build_site_route(
+                &sites,
+                &mut available,
+                rv,
+                input.base,
+                input.cost_per_m,
+                &mut scratch,
+            );
             if site_route.is_empty() {
                 continue;
             }
@@ -89,6 +96,12 @@ impl RechargePolicy for DeadlinePolicy {
             s.demand = d;
         }
         routes
+    }
+}
+
+impl RechargePolicy for DeadlinePolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        self.plan_impl(input, ExecMode::Fast)
     }
 
     fn name(&self) -> &'static str {

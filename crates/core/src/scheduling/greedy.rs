@@ -1,6 +1,6 @@
 //! Algorithm 2: the greedy recharging baseline (§IV-B).
 
-use super::{build_sites, expand_route, RechargePolicy};
+use super::{expand_route, ExecMode, RechargePolicy};
 use crate::{RvRoute, ScheduleInput};
 
 /// The paper's greedy baseline: each RV is dispatched to the single site
@@ -12,23 +12,29 @@ use crate::{RvRoute, ScheduleInput};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyPolicy;
 
-impl RechargePolicy for GreedyPolicy {
-    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
-        let sites = build_sites(input);
+impl GreedyPolicy {
+    pub(crate) fn plan_impl(&self, input: &ScheduleInput, mode: ExecMode) -> Vec<RvRoute> {
+        let sites = mode.build_sites(input);
         let mut available = vec![true; sites.len()];
         let mut routes = Vec::with_capacity(input.rvs.len());
 
+        // Base legs are RV-independent; RV legs are computed once per RV
+        // instead of once per (feasibility, profit) closure call.
+        let to_base: Vec<f64> = sites
+            .iter()
+            .map(|s| s.position.distance(input.base))
+            .collect();
+        let mut from_rv: Vec<f64> = vec![0.0; sites.len()];
         for rv in &input.rvs {
+            for (d, site) in from_rv.iter_mut().zip(&sites) {
+                *d = rv.position.distance(site.position);
+            }
             let feasible = |s: usize| {
                 let site = &sites[s];
-                let travel = rv.position.distance(site.position)
-                    + site.service_bound_m
-                    + site.position.distance(input.base);
+                let travel = from_rv[s] + site.service_bound_m + to_base[s];
                 site.demand + input.cost_per_m * travel <= rv.available_energy + 1e-9
             };
-            let profit = |s: usize| {
-                sites[s].demand - input.cost_per_m * rv.position.distance(sites[s].position)
-            };
+            let profit = |s: usize| sites[s].demand - input.cost_per_m * from_rv[s];
             let candidates: Vec<usize> = (0..sites.len())
                 .filter(|&s| available[s] && feasible(s))
                 .collect();
@@ -55,6 +61,12 @@ impl RechargePolicy for GreedyPolicy {
             routes.push(RvRoute { rv: rv.id, stops });
         }
         routes
+    }
+}
+
+impl RechargePolicy for GreedyPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        self.plan_impl(input, ExecMode::Fast)
     }
 
     fn name(&self) -> &'static str {

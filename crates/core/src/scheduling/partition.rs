@@ -1,6 +1,6 @@
 //! §IV-D-1 Partition-Scheme: K-means groups, one RV per group.
 
-use super::{build_site_route, build_sites, expand_route, RechargePolicy};
+use super::{expand_route, ExecMode, InsertScratch, RechargePolicy};
 use crate::{RvRoute, ScheduleInput};
 use rand::SeedableRng;
 use wrsn_opt::{kmeans, KMeansConfig};
@@ -29,9 +29,9 @@ impl Default for PartitionPolicy {
     }
 }
 
-impl RechargePolicy for PartitionPolicy {
-    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
-        let sites = build_sites(input);
+impl PartitionPolicy {
+    pub(crate) fn plan_impl(&self, input: &ScheduleInput, mode: ExecMode) -> Vec<RvRoute> {
+        let sites = mode.build_sites(input);
         if sites.is_empty() || input.rvs.is_empty() {
             return Vec::new();
         }
@@ -58,6 +58,10 @@ impl RechargePolicy for PartitionPolicy {
             }
         }
 
+        // One scratch across the per-group builder passes (the distance
+        // memo is site-indexed, so it is shared even though each pass sees
+        // a different availability mask).
+        let mut scratch = InsertScratch::for_sites(&sites);
         let mut routes = Vec::new();
         for (r, rv) in input.rvs.iter().enumerate() {
             let g = group_of_rv[r];
@@ -67,8 +71,14 @@ impl RechargePolicy for PartitionPolicy {
             // Availability mask confined to this RV's group.
             let mut available: Vec<bool> =
                 (0..sites.len()).map(|s| km.assignment[s] == g).collect();
-            let site_route =
-                build_site_route(&sites, &mut available, rv, input.base, input.cost_per_m);
+            let site_route = mode.build_site_route(
+                &sites,
+                &mut available,
+                rv,
+                input.base,
+                input.cost_per_m,
+                &mut scratch,
+            );
             if site_route.is_empty() {
                 continue;
             }
@@ -76,6 +86,12 @@ impl RechargePolicy for PartitionPolicy {
             routes.push(RvRoute { rv: rv.id, stops });
         }
         routes
+    }
+}
+
+impl RechargePolicy for PartitionPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        self.plan_impl(input, ExecMode::Fast)
     }
 
     fn name(&self) -> &'static str {

@@ -14,7 +14,7 @@
 //! RV's capacity budget (demand + travel + service bound ≤ budget, with
 //! routes assigned to RVs largest-first).
 
-use super::{build_sites, expand_route, RechargePolicy, Site};
+use super::{expand_route, ExecMode, RechargePolicy, Site};
 use crate::{RvRoute, ScheduleInput};
 use wrsn_geom::Point2;
 
@@ -46,14 +46,17 @@ impl CwRoute {
     }
 }
 
-impl RechargePolicy for SavingsPolicy {
-    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
-        let sites = build_sites(input);
+impl SavingsPolicy {
+    pub(crate) fn plan_impl(&self, input: &ScheduleInput, mode: ExecMode) -> Vec<RvRoute> {
+        let sites = mode.build_sites(input);
         if sites.is_empty() || input.rvs.is_empty() {
             return Vec::new();
         }
         let base = input.base;
         let cost = input.cost_per_m;
+        // Depot legs feed both the seeding pass and every pairwise saving;
+        // compute each once.
+        let base_leg: Vec<f64> = sites.iter().map(|s| base.distance(s.position)).collect();
         let max_budget = input
             .rvs
             .iter()
@@ -65,7 +68,7 @@ impl RechargePolicy for SavingsPolicy {
         let mut routes: Vec<CwRoute> = Vec::new();
         let mut route_of: Vec<Option<usize>> = vec![None; sites.len()];
         for (i, s) in sites.iter().enumerate() {
-            let round_trip = 2.0 * base.distance(s.position) + s.service_bound_m;
+            let round_trip = 2.0 * base_leg[i] + s.service_bound_m;
             let profitable = s.demand > cost * round_trip || s.critical;
             let fits = s.demand + cost * round_trip <= max_budget + 1e-9;
             if profitable && fits {
@@ -89,8 +92,7 @@ impl RechargePolicy for SavingsPolicy {
                 if route_of[j].is_none() {
                     continue;
                 }
-                let s = base.distance(sites[i].position) + base.distance(sites[j].position)
-                    - sites[i].position.distance(sites[j].position);
+                let s = base_leg[i] + base_leg[j] - sites[i].position.distance(sites[j].position);
                 if s > 0.0 {
                     savings.push((s, i, j));
                 }
@@ -166,6 +168,12 @@ impl RechargePolicy for SavingsPolicy {
             }
         }
         out
+    }
+}
+
+impl RechargePolicy for SavingsPolicy {
+    fn plan(&self, input: &ScheduleInput) -> Vec<RvRoute> {
+        self.plan_impl(input, ExecMode::Fast)
     }
 
     fn name(&self) -> &'static str {

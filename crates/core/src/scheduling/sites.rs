@@ -8,6 +8,7 @@
 //! by a canonical TSP algorithm, such as the nearest neighbor algorithm").
 
 use crate::{ClusterId, ScheduleInput};
+use std::collections::HashMap;
 use wrsn_geom::Point2;
 
 /// One schedulable site: either a whole requesting cluster or a single
@@ -33,7 +34,41 @@ pub(crate) struct Site {
 /// Groups the input's requests into sites. Clusterless requests become
 /// singleton sites; requests sharing a [`ClusterId`] merge. Order is
 /// deterministic: clusters ascending by id, then singles in request order.
+///
+/// Cluster lookup is O(1) via an id-indexed map; the aggregation itself
+/// (per-site demand sums in request order, first-appearance collection
+/// order before the final sort) is unchanged from
+/// [`oracle_build_sites`], so both produce identical sites bit for bit.
 pub(crate) fn build_sites(input: &ScheduleInput) -> Vec<Site> {
+    let mut cluster_sites: Vec<(ClusterId, Site)> = Vec::new();
+    let mut singles: Vec<Site> = Vec::new();
+    let mut index: HashMap<ClusterId, usize> = HashMap::new();
+
+    for (i, req) in input.requests.iter().enumerate() {
+        match req.cluster {
+            Some(cid) => match index.entry(cid) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let site = &mut cluster_sites[*e.get()].1;
+                    site.demand += req.demand;
+                    site.requests.push(i);
+                    site.critical |= req.critical;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(cluster_sites.len());
+                    cluster_sites.push((cid, singleton_site(input, i)));
+                }
+            },
+            None => singles.push(singleton_site(input, i)),
+        }
+    }
+
+    finish_sites(cluster_sites, singles, input)
+}
+
+/// The pre-optimization aggregation loop: linear `find` over the cluster
+/// list per request, O(requests × clusters). Kept verbatim as the
+/// differential oracle for [`build_sites`].
+pub(crate) fn oracle_build_sites(input: &ScheduleInput) -> Vec<Site> {
     let mut cluster_sites: Vec<(ClusterId, Site)> = Vec::new();
     let mut singles: Vec<Site> = Vec::new();
 
@@ -45,28 +80,34 @@ pub(crate) fn build_sites(input: &ScheduleInput) -> Vec<Site> {
                     site.requests.push(i);
                     site.critical |= req.critical;
                 } else {
-                    cluster_sites.push((
-                        cid,
-                        Site {
-                            position: req.position,
-                            demand: req.demand,
-                            requests: vec![i],
-                            critical: req.critical,
-                            service_bound_m: 0.0,
-                        },
-                    ));
+                    cluster_sites.push((cid, singleton_site(input, i)));
                 }
             }
-            None => singles.push(Site {
-                position: req.position,
-                demand: req.demand,
-                requests: vec![i],
-                critical: req.critical,
-                service_bound_m: 0.0,
-            }),
+            None => singles.push(singleton_site(input, i)),
         }
     }
 
+    finish_sites(cluster_sites, singles, input)
+}
+
+fn singleton_site(input: &ScheduleInput, i: usize) -> Site {
+    let req = &input.requests[i];
+    Site {
+        position: req.position,
+        demand: req.demand,
+        requests: vec![i],
+        critical: req.critical,
+        service_bound_m: 0.0,
+    }
+}
+
+/// Shared tail of both aggregation paths: centroid placement, member visit
+/// order, service bounds, and the deterministic final ordering.
+fn finish_sites(
+    mut cluster_sites: Vec<(ClusterId, Site)>,
+    singles: Vec<Site>,
+    input: &ScheduleInput,
+) -> Vec<Site> {
     // Cluster site position = centroid; fix the member visit order
     // (nearest-neighbour from the centroid) and pre-compute the service
     // travel bound for capacity checks.

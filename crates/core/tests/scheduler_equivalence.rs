@@ -1,0 +1,205 @@
+//! Differential properties: every scheduler's cached fast path must plan
+//! **bit-identically** to the retained naive oracle (linear-scan site
+//! aggregation + full-rescan insertion builder). Snapshot and journal
+//! replay depend on plan determinism, so any divergence — a different
+//! tie-break, a site the prefilter wrongly dropped, a stale cached slot —
+//! is a correctness bug, not a performance detail.
+//!
+//! CI runs this suite in debug AND `--release`: debug builds additionally
+//! cross-check inside `build_site_route` itself, release builds prove the
+//! equivalence holds on the debug-assert-free path actually shipped.
+
+use proptest::prelude::*;
+use wrsn_core::scheduling::{oracle, SchedulerKind};
+use wrsn_core::{ClusterId, RechargeRequest, RvId, RvState, ScheduleInput, SensorId};
+use wrsn_geom::Point2;
+
+const ALL_KINDS: [SchedulerKind; 6] = [
+    SchedulerKind::Greedy,
+    SchedulerKind::Insertion,
+    SchedulerKind::Partition,
+    SchedulerKind::Combined,
+    SchedulerKind::Savings,
+    SchedulerKind::Deadline,
+];
+
+prop_compose! {
+    fn arb_request(i: u32)(
+        x in 0.0f64..200.0,
+        y in 0.0f64..200.0,
+        demand in 100.0f64..9_000.0,
+        cluster in proptest::option::of(0u32..6),
+        critical in proptest::bool::weighted(0.25),
+    ) -> RechargeRequest {
+        RechargeRequest {
+            sensor: SensorId(i),
+            position: Point2::new(x, y),
+            demand,
+            cluster: cluster.map(ClusterId),
+            critical,
+        }
+    }
+}
+
+/// Random instances spanning the interesting regimes: clusters, criticals,
+/// multi-RV fleets, and budgets from too-tight-to-leave-base up to
+/// serve-everything.
+fn arb_input() -> impl Strategy<Value = ScheduleInput> {
+    (1usize..40, 1usize..4, 800.0f64..200_000.0, 0.5f64..8.0).prop_flat_map(
+        |(n, m, budget, cost)| {
+            let reqs: Vec<_> = (0..n as u32).map(arb_request).collect();
+            (reqs, Just(m), Just(budget), Just(cost)).prop_map(
+                move |(requests, m, budget, cost)| ScheduleInput {
+                    requests,
+                    rvs: (0..m)
+                        .map(|i| RvState {
+                            id: RvId(i as u32),
+                            // Spread the fleet so multi-RV passes start from
+                            // distinct positions (distinct Step 1 argmaxes).
+                            position: Point2::new(100.0 + 30.0 * i as f64, 100.0),
+                            available_energy: budget * (1.0 + 0.1 * i as f64),
+                        })
+                        .collect(),
+                    base: Point2::new(100.0, 100.0),
+                    cost_per_m: cost,
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The headline property: optimized plan == naive-oracle plan, for
+    /// every policy, on arbitrary inputs.
+    #[test]
+    fn optimized_plans_equal_oracle_plans(input in arb_input(), seed in 0u64..100) {
+        for kind in ALL_KINDS {
+            let fast = kind.build(seed).plan(&input);
+            let naive = oracle::plan(kind, seed, &input);
+            prop_assert_eq!(
+                &fast, &naive,
+                "{} diverged from its oracle (seed {})", kind, seed
+            );
+        }
+    }
+
+    /// Tight-budget slice: budgets close to a single round trip exercise
+    /// the feasibility boundary where a stale cached slot or an over-eager
+    /// prefilter would first show up.
+    #[test]
+    fn tight_budgets_stay_equivalent(
+        input in arb_input(),
+        frac in 0.01f64..0.4,
+        seed in 0u64..100,
+    ) {
+        let mut input = input;
+        for rv in &mut input.rvs {
+            rv.available_energy *= frac;
+        }
+        for kind in ALL_KINDS {
+            let fast = kind.build(seed).plan(&input);
+            let naive = oracle::plan(kind, seed, &input);
+            prop_assert_eq!(
+                &fast, &naive,
+                "{} diverged under tight budget (frac {}, seed {})", kind, frac, seed
+            );
+        }
+    }
+
+    /// Duplicate-coordinate slice: repeated positions force exact ties in
+    /// deltas and profits, pinning the tie-break contract (earliest site,
+    /// earliest slot) rather than leaving it to fp luck.
+    #[test]
+    fn exact_ties_break_identically(
+        n in 2usize..24,
+        budget in 2_000.0f64..80_000.0,
+        seed in 0u64..100,
+    ) {
+        let requests: Vec<_> = (0..n as u32)
+            .map(|i| RechargeRequest {
+                sensor: SensorId(i),
+                // Only 4 distinct positions and 2 distinct demands: most
+                // candidate evaluations collide exactly.
+                position: Point2::new(50.0 * f64::from(i % 2), 50.0 * f64::from((i / 2) % 2)),
+                demand: if i % 3 == 0 { 500.0 } else { 1_500.0 },
+                cluster: None,
+                critical: i % 5 == 0,
+            })
+            .collect();
+        let input = ScheduleInput {
+            requests,
+            rvs: vec![RvState {
+                id: RvId(0),
+                position: Point2::new(25.0, 25.0),
+                available_energy: budget,
+            }],
+            base: Point2::new(25.0, 25.0),
+            cost_per_m: 1.0,
+        };
+        for kind in ALL_KINDS {
+            prop_assert_eq!(
+                kind.build(seed).plan(&input),
+                oracle::plan(kind, seed, &input),
+                "{} broke a tie differently", kind
+            );
+        }
+    }
+}
+
+proptest! {
+    // Large instances are slow through the naive oracle (that is the
+    // point), so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Prefilter-scale slice: ≥64 sites engages the `GridIndex` pruning;
+    /// budgets that strand most of the field out of reach must still yield
+    /// oracle-identical plans.
+    #[test]
+    fn prefilter_scale_stays_equivalent(
+        n in 70usize..120,
+        budget in 500.0f64..20_000.0,
+        seed in 0u64..100,
+    ) {
+        let mut requests = Vec::with_capacity(n);
+        // Deterministic low-discrepancy scatter over a 2 km field.
+        for i in 0..n as u32 {
+            let f = f64::from(i);
+            requests.push(RechargeRequest {
+                sensor: SensorId(i),
+                position: Point2::new(
+                    (f * 383.0) % 2_000.0,
+                    (f * 991.0) % 2_000.0,
+                ),
+                demand: 100.0 + (f * 37.0) % 1_000.0,
+                cluster: (i % 4 == 0).then_some(ClusterId(i % 8)),
+                critical: i % 7 == 0,
+            });
+        }
+        let input = ScheduleInput {
+            requests,
+            rvs: vec![
+                RvState {
+                    id: RvId(0),
+                    position: Point2::new(1_000.0, 1_000.0),
+                    available_energy: budget,
+                },
+                RvState {
+                    id: RvId(1),
+                    position: Point2::new(200.0, 1_800.0),
+                    available_energy: budget * 1.5,
+                },
+            ],
+            base: Point2::new(1_000.0, 1_000.0),
+            cost_per_m: 1.0,
+        };
+        for kind in ALL_KINDS {
+            prop_assert_eq!(
+                kind.build(seed).plan(&input),
+                oracle::plan(kind, seed, &input),
+                "{} diverged at prefilter scale", kind
+            );
+        }
+    }
+}

@@ -201,12 +201,20 @@ pub(crate) fn plan_routes(state: &mut WorldState) {
         "scheduler produced invalid plan: {:?}",
         input.validate_plan(&routes)
     );
+    // Index the fleet by id once; resolving each route with a linear
+    // `find` made route commitment O(rvs²) per planning call.
+    let rv_index: std::collections::HashMap<wrsn_core::RvId, usize> = state
+        .rvs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.id, i))
+        .collect();
     let mut any = false;
     for route in &routes {
         if route.stops.is_empty() {
             continue;
         }
-        let Some(agent) = state.rvs.iter_mut().find(|a| a.id == route.rv) else {
+        let Some(agent) = rv_index.get(&route.rv).map(|&i| &mut state.rvs[i]) else {
             continue;
         };
         let stops: Vec<SensorId> = route
