@@ -1,0 +1,73 @@
+//! Tick-scaling benchmark for the SoA + event-incremental routing
+//! engine: one full `World::step` at 100 / 1k / 10k / 100k sensors
+//! (constant density, so per-sensor work is the honest unit), next to
+//! the naive wholesale routing pipeline priced at the same scales.
+//!
+//! * `step` — one engine tick on a warmed mid-run world. With the
+//!   dirty-set routing repair this should cost a flat number of ns per
+//!   sensor across the whole range; the pre-SoA engine grew superlinear
+//!   here (851 ns/sensor at 10k vs 118 at 1k, `BENCH_coverage.json`).
+//! * `naive_refresh` — the historical per-refresh pipeline: a
+//!   from-scratch canonical Dijkstra rebuild + full relay-load fold +
+//!   wholesale activity recompute, via [`World::verify_routing`]. The
+//!   audit *asserts* the maintained tree equals that naive recompute
+//!   before returning, so a divergence fails this bench outright — the
+//!   `--test` run in CI's bench-smoke job is the release-profile
+//!   divergence gate.
+//!
+//! `results/BENCH_tick.json` snapshots a run of this bench; refresh it
+//! with `cargo bench -p wrsn-bench --bench tick`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wrsn_sim::{SimConfig, World};
+
+/// A field at the seed tests' sensor density (60 sensors on a 60 m
+/// square) scaled to `sensors`, with a capped target count so the
+/// clustering stage stays comparable across scales.
+fn scaled_world(sensors: usize) -> World {
+    let mut cfg = SimConfig::small(1.0);
+    cfg.num_sensors = sensors;
+    cfg.num_targets = (sensors / 20).clamp(1, 20);
+    cfg.num_rvs = 2;
+    cfg.field_side = 60.0 * (sensors as f64 / 60.0).sqrt();
+    cfg.initial_soc = (0.1, 1.0); // mixed health: deaths, requests, revivals
+    let mut w = World::new(&cfg, 42);
+    // Step past a few slot boundaries so rotas, deaths and the routing
+    // dirty-set look like a mid-run world rather than a freshly built one.
+    for _ in 0..30 {
+        w.step();
+    }
+    w
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick");
+    group.sample_size(10);
+    for &sensors in &[100usize, 1_000, 10_000, 100_000] {
+        let mut stepping = scaled_world(sensors);
+        group.bench_with_input(BenchmarkId::new("step", sensors), &(), |b, _unit: &()| {
+            b.iter(|| {
+                stepping.step();
+                black_box(stepping.time())
+            })
+        });
+        // The wholesale pipeline the incremental path replaced, plus the
+        // bitwise equality gate against the maintained tree.
+        let mut audited = scaled_world(sensors);
+        group.bench_with_input(
+            BenchmarkId::new("naive_refresh", sensors),
+            &(),
+            |b, _unit: &()| {
+                b.iter(|| {
+                    audited
+                        .verify_routing()
+                        .expect("incremental routing diverged from the naive oracle");
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tick);
+criterion_main!(benches);

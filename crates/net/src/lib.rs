@@ -16,6 +16,11 @@
 //! * [`relay_loads`] — per-node average transmit/receive packet rates given
 //!   each node's own data generation rate, used to convert routing into
 //!   radio energy drain.
+//! * [`DynamicRoutingTree`] — the event-incremental tree + relay loads the
+//!   simulator maintains per tick (subtree repair on liveness changes,
+//!   ancestor-chain load deltas on duty handovers), bitwise-equal to the
+//!   naive [`RoutingTree`] + [`relay_load_counts`] pipeline by the
+//!   canonical-tree argument in DESIGN.md §4f.
 //!
 //! ```
 //! use wrsn_geom::Point2;
@@ -37,7 +42,7 @@ mod stats;
 mod traffic;
 
 pub use graph::CommGraph;
-pub use routing::RoutingTree;
+pub use routing::{DynamicRoutingTree, RoutingTree};
 pub use shortest_path::{bellman_ford, shortest_paths, shortest_paths_enabled, ShortestPaths};
 pub use stats::{network_stats, NetworkStats};
-pub use traffic::{relay_loads, TrafficLoad};
+pub use traffic::{relay_load_counts, relay_loads, TrafficLoad};

@@ -42,15 +42,28 @@ impl ShortestPaths {
     }
 }
 
-/// Binary-heap entry ordered by smallest distance first.
-struct HeapEntry {
-    dist: f64,
-    node: u32,
+/// Binary-heap entry ordered by smallest `(dist, node)` first.
+///
+/// The node index is a deterministic tie-break: equal-distance nodes
+/// settle in index order, which makes the produced *parents* (not just
+/// the distances) a pure function of the graph and the enabled set — the
+/// **canonical tree** property the incremental repair in
+/// [`crate::DynamicRoutingTree`] relies on. With this ordering and
+/// strict-`<` relaxation, `parent[v]` is always the neighbor `u`
+/// minimizing `(dist[u], u != source, u)` among the achievers
+/// `{u : dist[u] + w(u,v) == dist[v]}` — the source outranks
+/// equal-distance nodes because it pops before their entries are even
+/// pushed (relevant only for zero-weight edges, i.e. nodes coincident
+/// with the source). See DESIGN.md §4f for the argument.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) node: u32,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.dist == other.dist && self.node == other.node
     }
 }
 impl Eq for HeapEntry {}
@@ -61,8 +74,12 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; weights are finite non-negative distances.
-        other.dist.total_cmp(&self.dist)
+        // Reverse for a min-heap; weights are finite non-negative
+        // distances. Ties broken by node index (see the struct docs).
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
     }
 }
 

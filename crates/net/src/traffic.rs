@@ -61,6 +61,58 @@ pub fn relay_loads(tree: &RoutingTree, gen_pps: &[f64]) -> Vec<TrafficLoad> {
     loads
 }
 
+/// Count-based form of [`relay_loads`] for the common case where every
+/// generator produces at the *same* rate: loads are materialized as
+/// `subtree_generator_count × rate_pps` products instead of a float fold.
+///
+/// For dyadic rates (mantissa-exact multiples of a power of two, like the
+/// production `data_rate_pps = 15/60 = 0.25`) every partial sum in the
+/// [`relay_loads`] fold is exact, so the product form is **bitwise
+/// identical** to it; for non-dyadic rates the historical fold is
+/// tree-shape-dependent in the last ulps and the product form is the
+/// better-defined of the two. This is the reference the incremental
+/// `DynamicRoutingTree` loads are compared against.
+///
+/// # Panics
+/// Panics when `gen.len()` differs from the tree size or `rate_pps` is
+/// negative/non-finite.
+pub fn relay_load_counts(tree: &RoutingTree, gen: &[bool], rate_pps: f64) -> Vec<TrafficLoad> {
+    assert_eq!(
+        gen.len(),
+        tree.len(),
+        "one generator flag per node required"
+    );
+    assert!(
+        rate_pps.is_finite() && rate_pps >= 0.0,
+        "rate must be non-negative"
+    );
+    let n = tree.len();
+    let mut counts = vec![0u32; n];
+    let mut order: Vec<usize> = (0..n).filter(|&v| tree.connected(v)).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(tree.hops(v).unwrap_or(0)));
+    for &v in &order {
+        counts[v] += gen[v] as u32;
+        if let Some(p) = tree.next_hop(v) {
+            counts[p] += counts[v];
+        }
+    }
+    let mut loads = vec![TrafficLoad::default(); n];
+    for v in 0..n {
+        if !tree.connected(v) {
+            continue;
+        }
+        loads[v] = TrafficLoad {
+            tx_pps: if v == tree.sink() {
+                0.0
+            } else {
+                counts[v] as f64 * rate_pps
+            },
+            rx_pps: (counts[v] - gen[v] as u32) as f64 * rate_pps,
+        };
+    }
+    loads
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +153,34 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_counts_bitwise_equal_fold_at_dyadic_rate(
+            pts in proptest::collection::vec((0.0f64..80.0, 0.0f64..80.0), 1..60),
+            gens in proptest::collection::vec(proptest::bool::ANY, 60),
+            range in 5.0f64..30.0,
+        ) {
+            // The production rate 15/60 = 0.25 is dyadic: k·0.25 summed in
+            // any order is exact, so the count-product form must match the
+            // historical fold bit for bit (this equality is what lets the
+            // incremental tree's loads stand in for `relay_loads` in the
+            // byte-identity pins).
+            let rate = 15.0 / 60.0;
+            let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+            let g = CommGraph::build(&pts, range);
+            let t = RoutingTree::toward(&g, 0);
+            let gen_flags: Vec<bool> = (0..g.len()).map(|i| gens[i]).collect();
+            let gen_pps: Vec<f64> = gen_flags.iter().map(|&b| if b { rate } else { 0.0 }).collect();
+            let fold = relay_loads(&t, &gen_pps);
+            let prod = relay_load_counts(&t, &gen_flags, rate);
+            for v in 0..g.len() {
+                prop_assert!(
+                    fold[v].tx_pps.to_bits() == prod[v].tx_pps.to_bits()
+                        && fold[v].rx_pps.to_bits() == prod[v].rx_pps.to_bits(),
+                    "node {}: fold {:?} vs product {:?}", v, fold[v], prod[v]
+                );
+            }
+        }
+
         #[test]
         fn prop_traffic_conservation(
             pts in proptest::collection::vec((0.0f64..80.0, 0.0f64..80.0), 1..60),

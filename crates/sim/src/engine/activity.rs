@@ -4,25 +4,39 @@
 //! monitoring duty to its next live member every `slot_s`) and the
 //! derived per-sensor activity states: *active* (rota holder, detector
 //! powered), *dormant* (off-duty cluster member, everything off) or
-//! *watching* (duty-cycled, everyone else). Whenever activity or the
-//! live-node set changed, the Dijkstra routing tree toward the sink and
-//! the per-node relay loads are recomputed.
+//! *watching* (duty-cycled, everyone else).
+//!
+//! Routing maintenance is event-incremental (DESIGN.md §4f): the phases
+//! queue what changed in [`super::RoutingDirty`] and
+//! [`refresh_routing`] replays only that —
+//!
+//! * a **full** rebuild (cluster structure changed) re-derives activity
+//!   wholesale and rebuilds the tree with one Dijkstra pass;
+//! * otherwise each dirty *node* is an enabled-set toggle on the
+//!   maintained [`wrsn_net::DynamicRoutingTree`] (subtree detach/repair)
+//!   and each dirty *cluster* (all of them after a slot advance)
+//!   re-derives its members' activity, flipping tree generators only
+//!   where the active bit actually changed (ancestor-chain load deltas).
+//!
+//! The final tree is a pure function of the final enabled/generator sets
+//! (canonical-tree argument, DESIGN.md §4f), so replay order and event
+//! coalescing don't matter. [`naive_activity`] keeps the historical
+//! wholesale recompute in the build: the full path uses it directly, and
+//! the invariant checker replays it as the differential oracle.
 
-use super::WorldState;
+use super::{SensorSoA, WorldState};
 use wrsn_core::SensorId;
-use wrsn_net::{relay_loads, RoutingTree};
 
 /// Hands the monitoring duty to the next live rota member when the slot
-/// boundary passed. Marks routing dirty so loads follow the new holder.
+/// boundary passed. Marks all rotas dirty so loads follow the holders.
 pub(crate) fn advance_slots(state: &mut WorldState) {
     if state.t >= state.next_slot {
         state.next_slot = state.t + state.cfg.slot_s;
-        let batteries = &state.batteries;
-        let suspended = &state.suspended;
+        let sensors = &state.sensors;
         for rota in &mut state.rotas {
-            rota.advance(|s| !batteries[s.index()].is_depleted() && !suspended[s.index()]);
+            rota.advance(|s| !sensors.is_depleted(s.index()) && !sensors.suspended(s.index()));
         }
-        state.routing_dirty = true;
+        state.routing_dirty.note_slots();
         // Conservative part of the coverage-cache contract: any phase
         // that touches rota state dirties its clusters (coverage itself
         // is cursor-independent — see engine::coverage's module docs).
@@ -30,45 +44,126 @@ pub(crate) fn advance_slots(state: &mut WorldState) {
     }
 }
 
-/// Recomputes which sensors actively monitor, then the routing tree
-/// over live nodes and per-node relay loads.
-pub(crate) fn refresh_routing(state: &mut WorldState) {
-    state.active.iter_mut().for_each(|a| *a = false);
-    state.dormant.iter_mut().for_each(|d| *d = false);
-    let batteries_ref = &state.batteries;
-    let suspended_ref = &state.suspended;
-    let alive = |s: SensorId| !batteries_ref[s.index()].is_depleted() && !suspended_ref[s.index()];
+/// The historical wholesale activity recompute, kept as the differential
+/// oracle (and the full-rebuild path): returns per-sensor
+/// `(active, dormant)` exactly as the pre-SoA code derived them from the
+/// clusters, rotas and liveness.
+pub(crate) fn naive_activity(state: &WorldState) -> (Vec<bool>, Vec<bool>) {
+    let mut active = vec![false; state.cfg.num_sensors];
+    let mut dormant = vec![false; state.cfg.num_sensors];
+    let sensors = &state.sensors;
+    let alive = |s: SensorId| !sensors.is_depleted(s.index()) && !sensors.suspended(s.index());
     for (ci, cluster) in state.clusters.iter() {
         if state.cfg.activity.round_robin {
             // Off-duty members sleep entirely; the rota holder monitors.
             for &m in &cluster.members {
-                state.dormant[m.index()] = true;
+                dormant[m.index()] = true;
             }
             if let Some(s) = state.rotas[ci.index()].active(alive) {
-                state.active[s.index()] = true;
-                state.dormant[s.index()] = false;
+                active[s.index()] = true;
+                dormant[s.index()] = false;
             }
         } else {
             for &m in &cluster.members {
                 if alive(m) {
-                    state.active[m.index()] = true;
+                    active[m.index()] = true;
                 }
             }
         }
     }
-    let batteries = &state.batteries;
-    let suspended = &state.suspended;
-    let tree = RoutingTree::toward_enabled(&state.graph, 0, |v| {
-        v == 0 || (!batteries[v - 1].is_depleted() && !suspended[v - 1])
-    });
-    let mut gen = vec![0.0; state.graph.len()];
+    (active, dormant)
+}
+
+/// Replays the pending [`super::RoutingDirty`] work onto the activity
+/// flags and the maintained routing tree, then clears the queues.
+pub(crate) fn refresh_routing(state: &mut WorldState) {
+    if state.routing_dirty.is_full() {
+        refresh_full(state);
+    } else {
+        refresh_incremental(state);
+    }
+    let num_clusters = state.clusters.len();
+    state.routing_dirty.reset(num_clusters);
+}
+
+/// Full fallback: wholesale activity recompute + one Dijkstra rebuild.
+/// Used when the cluster structure itself changed (mobility rebuilds,
+/// snapshot resume with pending work) — membership and rotas are new, so
+/// per-cluster diffs have no baseline to diff against.
+fn refresh_full(state: &mut WorldState) {
+    let (active, dormant) = naive_activity(state);
     for s in 0..state.cfg.num_sensors {
-        if state.active[s] {
-            gen[s + 1] = state.cfg.data_rate_pps;
+        state.sensors.set_active(s, active[s]);
+        state.sensors.set_dormant(s, dormant[s]);
+    }
+    let sensors = &state.sensors;
+    state.routing.rebuild(
+        &state.graph,
+        |v| v == 0 || (!sensors.is_depleted(v - 1) && !sensors.suspended(v - 1)),
+        |v| v > 0 && sensors.active(v - 1),
+    );
+}
+
+/// Event-incremental path: toggle the enabled bit of each dirty node
+/// (subtree detach/repair inside the tree), then re-derive activity for
+/// each dirty cluster — all clusters after a slot advance — flipping
+/// generators only where the active bit actually changed.
+fn refresh_incremental(state: &mut WorldState) {
+    for i in 0..state.routing_dirty.nodes.len() {
+        let s = state.routing_dirty.nodes[i] as usize;
+        let on = !state.sensors.is_depleted(s) && !state.sensors.suspended(s);
+        state.routing.set_enabled(&state.graph, s + 1, on);
+    }
+    if state.routing_dirty.slots {
+        for ci in 0..state.clusters.len() {
+            apply_cluster_activity(state, ci);
+        }
+    } else {
+        for i in 0..state.routing_dirty.clusters.len() {
+            let ci = state.routing_dirty.clusters[i] as usize;
+            apply_cluster_activity(state, ci);
         }
     }
-    state.loads = relay_loads(&tree, &gen);
-    state.routing_dirty = false;
+}
+
+/// Re-derives one cluster's activity from its rota and liveness (same
+/// rule as [`naive_activity`], restricted to `ci`) and diffs it against
+/// the stored flags, flipping tree generators on change. Sensors outside
+/// every cluster keep active = dormant = false, so never need visiting.
+fn apply_cluster_activity(state: &mut WorldState, ci: usize) {
+    let WorldState {
+        cfg,
+        clusters,
+        rotas,
+        sensors,
+        routing,
+        ..
+    } = state;
+    let cluster = &clusters.clusters()[ci];
+    if cfg.activity.round_robin {
+        let sn: &SensorSoA = sensors;
+        let holder =
+            rotas[ci].active(|s: SensorId| !sn.is_depleted(s.index()) && !sn.suspended(s.index()));
+        for &m in &cluster.members {
+            let mi = m.index();
+            let want_active = holder == Some(m);
+            if sensors.active(mi) != want_active {
+                sensors.set_active(mi, want_active);
+                routing.set_generator(mi + 1, want_active);
+            }
+            sensors.set_dormant(mi, !want_active);
+        }
+    } else {
+        for &m in &cluster.members {
+            let mi = m.index();
+            let want_active = !sensors.is_depleted(mi) && !sensors.suspended(mi);
+            if sensors.active(mi) != want_active {
+                sensors.set_active(mi, want_active);
+                routing.set_generator(mi + 1, want_active);
+            }
+            // Dormancy is a round-robin concept; stays false here.
+        }
+    }
 }
 
 #[cfg(test)]

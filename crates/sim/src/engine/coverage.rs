@@ -88,7 +88,7 @@ fn cluster_live_count(state: &WorldState, ci: usize) -> u32 {
     state.clusters.clusters()[ci]
         .members
         .iter()
-        .filter(|&&m| !state.batteries[m.index()].is_depleted() && !state.suspended[m.index()])
+        .filter(|&&m| !state.sensors.is_depleted(m.index()) && !state.sensors.suspended(m.index()))
         .count() as u32
 }
 
@@ -103,7 +103,9 @@ pub(crate) fn rebuild(state: &mut WorldState) {
         live.push(cluster_live_count(state, ci));
     }
     let covered = live.iter().filter(|&&c| c > 0).count();
-    let alive = state.batteries.iter().filter(|b| !b.is_depleted()).count();
+    let alive = (0..state.sensors.len())
+        .filter(|&s| !state.sensors.is_depleted(s))
+        .count();
     state.coverage = CoverageCache {
         live_members: live,
         covered,
@@ -236,7 +238,9 @@ pub(crate) fn naive_covered<F: Fn(SensorId) -> bool>(
 
 /// Brute-force alive recount — the oracle for the cached counter.
 pub(crate) fn naive_alive_count(state: &WorldState) -> usize {
-    state.batteries.iter().filter(|b| !b.is_depleted()).count()
+    (0..state.sensors.len())
+        .filter(|&s| !state.sensors.is_depleted(s))
+        .count()
 }
 
 /// Differential audit of the cache against the naive oracle — the

@@ -19,7 +19,7 @@ pub(crate) fn manage_requests(state: &mut WorldState) {
     // Recovered sensors leave the board.
     for s in 0..state.cfg.num_sensors {
         let id = SensorId(s as u32);
-        if state.batteries[s].soc() >= thr && state.board.is_released(id) {
+        if state.sensors.soc(s) >= thr && state.board.is_released(id) {
             // Assigned requests stay with their RV (it is already on
             // the way); only unassigned recoveries clear.
             if state.board.is_unassigned(id) {
@@ -38,22 +38,26 @@ pub(crate) fn manage_requests(state: &mut WorldState) {
     // prioritizes them inside the recharge routes (the `critical`
     // flag) but still withholds the request, which is exactly why
     // large ERP values trade coverage for travel energy.
-    let mut dirty_groups: Vec<u32> = Vec::new();
+    // Reuse the per-tick dirty-group scratch buffer (taken out of the
+    // state so the board/rng borrows below stay disjoint; put back at
+    // the end of the function).
+    let mut dirty_groups = std::mem::take(&mut state.group_scratch);
+    dirty_groups.clear();
     for s in 0..state.cfg.num_sensors {
-        if state.failed[s] {
+        if state.sensors.failed(s) {
             continue; // broken hardware: recharging cannot help
         }
         let id = SensorId(s as u32);
-        let soc = state.batteries[s].soc();
+        let soc = state.sensors.soc(s);
         if soc < thr {
-            if state.suspended[s] {
+            if state.sensors.suspended(s) {
                 // A transiently-down sensor cannot transmit; its request
                 // waits for the outage to end. (Depletion is different:
                 // the base station notices the lost heartbeat itself.)
                 continue;
             }
             state.board.mark_pending(id);
-            if state.batteries[s].is_depleted() {
+            if state.sensors.is_depleted(s) {
                 // Base-station-side detection, no uplink involved: a
                 // dead node is released directly even under a lossy
                 // uplink.
@@ -82,19 +86,19 @@ pub(crate) fn manage_requests(state: &mut WorldState) {
     // below-threshold member sends its (aggregated) request.
     dirty_groups.sort_unstable();
     dirty_groups.dedup();
-    for gid in dirty_groups {
+    for &gid in &dirty_groups {
         let (start, len) = state.groups[gid as usize];
         let members = &state.group_arena[start as usize..(start + len) as usize];
         let below = members
             .iter()
-            .filter(|m| state.batteries[m.index()].soc() < thr)
+            .filter(|m| state.sensors.soc(m.index()) < thr)
             .count();
         if state.erp.should_release(below, members.len()) {
             for m in 0..len as usize {
                 let member = state.group_arena[start as usize + m];
-                if state.batteries[member.index()].soc() < thr
-                    && !state.failed[member.index()]
-                    && !state.suspended[member.index()]
+                if state.sensors.soc(member.index()) < thr
+                    && !state.sensors.failed(member.index())
+                    && !state.sensors.suspended(member.index())
                 {
                     faults::uplink_release(
                         &state.cfg.faults,
@@ -109,6 +113,7 @@ pub(crate) fn manage_requests(state: &mut WorldState) {
             }
         }
     }
+    state.group_scratch = dirty_groups;
 }
 
 /// Dispatch batching with hysteresis: a wave starts when the recharge
@@ -123,12 +128,12 @@ pub(crate) fn should_plan(state: &mut WorldState) -> bool {
     let mut critical = false;
     for id in state.board.unassigned() {
         let s = id.index();
-        demand += state.batteries[s].deficit();
+        demand += state.sensors.deficit(s);
         let rel = state.board.released_time(id);
         if rel.is_finite() {
             oldest = oldest.min(rel);
         }
-        critical |= state.batteries[s].soc() < state.cfg.critical_soc;
+        critical |= state.sensors.soc(s) < state.cfg.critical_soc;
     }
     if demand <= 0.0 {
         state.dispatching = false;
@@ -178,11 +183,11 @@ pub(crate) fn plan_routes(state: &mut WorldState) {
             RechargeRequest {
                 sensor: id,
                 position: state.sensor_pos[s],
-                demand: state.batteries[s].deficit(),
+                demand: state.sensors.deficit(s),
                 // The request group is the §IV-C aggregation unit: one
                 // RV visit serves all of a group's released requests.
                 cluster: state.group_of[s].map(ClusterId),
-                critical: state.batteries[s].soc() < state.cfg.critical_soc,
+                critical: state.sensors.soc(s) < state.cfg.critical_soc,
             }
         })
         .collect();

@@ -15,24 +15,34 @@ use wrsn_energy::SensorActivity;
 /// Samples permanent hardware faults: each live sensor fails with
 /// probability `rate·dt/86400` this tick. Failed sensors lose their
 /// remaining charge, leave the request board, and are skipped by RVs.
+///
+/// At a zero (or negative) rate this returns before touching the RNG at
+/// all — the common fault-free runs must not pay one `gen_bool(0.0)` per
+/// live sensor per tick, and the RNG stream must stay byte-identical to
+/// builds that never called this (pinned by
+/// `zero_rate_injection_leaves_rng_untouched` below).
 pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
-    let p = (state.cfg.permanent_failures_per_day * dt / 86_400.0).min(1.0);
+    let rate = state.cfg.permanent_failures_per_day;
+    if rate <= 0.0 {
+        return;
+    }
+    let p = (rate * dt / 86_400.0).min(1.0);
     for s in 0..state.cfg.num_sensors {
-        if state.failed[s] || state.batteries[s].is_depleted() {
+        if state.sensors.failed(s) || state.sensors.is_depleted(s) {
             continue;
         }
         if state.rng.gen_bool(p) {
             let id = SensorId(s as u32);
-            state.failed[s] = true;
+            state.sensors.set_failed(s, true);
             state.failures += 1;
-            let level = state.batteries[s].level();
-            state.failure_lost_j += state.batteries[s].draw(level);
-            state.was_depleted[s] = true;
+            let level = state.sensors.level[s];
+            state.failure_lost_j += state.sensors.draw(s, level);
+            state.sensors.set_was_depleted(s, true);
             // A permanent fault supersedes any transient outage.
-            state.suspended[s] = false;
-            state.suspend_until[s] = f64::NAN;
+            state.sensors.set_suspended(s, false);
+            state.sensors.suspend_until[s] = f64::NAN;
             state.board.clear(id);
-            state.routing_dirty = true;
+            state.note_liveness_changed(s);
             super::coverage::note_failed(state, id);
             state.trace.push(crate::TraceEvent::SensorFailed {
                 t: state.t,
@@ -42,45 +52,50 @@ pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
     }
 }
 
-/// Integrates one tick of battery drain for every live sensor.
+/// Integrates one tick of battery drain for every live sensor. The loop
+/// strides the SoA columns (levels, packed flags, relay loads) directly;
+/// depletions feed the liveness dirty-set so the routing refresh repairs
+/// only the affected subtrees.
 pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
     let profile = state.cfg.sensor_profile;
+    let watch_duty = state.cfg.watch_duty;
+    let self_discharge = state.cfg.self_discharge_per_day;
     for s in 0..state.cfg.num_sensors {
-        if state.batteries[s].is_depleted() || state.suspended[s] {
+        if state.sensors.is_depleted(s) || state.sensors.suspended(s) {
             // Suspended sensors are powered down for the outage: they
             // neither sense nor relay, and their battery holds its level
             // (self-discharge during an outage is ignored).
             continue;
         }
-        let load = state.loads[s + 1];
-        let activity = if state.active[s] {
+        let load = state.routing.loads()[s + 1];
+        let activity = if state.sensors.active(s) {
             SensorActivity::Sensing {
                 tx_pps: load.tx_pps,
                 rx_pps: load.rx_pps,
             }
-        } else if state.dormant[s] {
+        } else if state.sensors.dormant(s) {
             SensorActivity::Idle {
                 tx_pps: load.tx_pps,
                 rx_pps: load.rx_pps,
             }
         } else {
             SensorActivity::Watching {
-                duty: state.cfg.watch_duty,
+                duty: watch_duty,
                 tx_pps: load.tx_pps,
                 rx_pps: load.rx_pps,
             }
         };
         let power = profile.power(activity);
         let mut demand = power * dt;
-        if state.cfg.self_discharge_per_day > 0.0 {
-            demand += state.batteries[s].level() * state.cfg.self_discharge_per_day * dt / 86_400.0;
+        if self_discharge > 0.0 {
+            demand += state.sensors.level[s] * self_discharge * dt / 86_400.0;
         }
-        let drawn = state.batteries[s].draw(demand);
+        let drawn = state.sensors.draw(s, demand);
         state.total_drained_j += drawn;
-        if state.batteries[s].is_depleted() && !state.was_depleted[s] {
-            state.was_depleted[s] = true;
+        if state.sensors.is_depleted(s) && !state.sensors.was_depleted(s) {
+            state.sensors.set_was_depleted(s, true);
             state.deaths += 1;
-            state.routing_dirty = true;
+            state.note_liveness_changed(s);
             super::coverage::note_depleted(state, SensorId(s as u32));
             state.trace.push(crate::TraceEvent::SensorDepleted {
                 t: state.t,
@@ -139,5 +154,28 @@ mod tests {
         let cfg = tiny_cfg(2.0); // permanent_failures_per_day = 0
         let out = World::new(&cfg, 5).run();
         assert_eq!(out.permanent_failures, 0);
+    }
+
+    #[test]
+    fn zero_rate_injection_leaves_rng_untouched() {
+        // The fast path must not draw one `gen_bool(0.0)` per live sensor:
+        // the RNG stream on fault-free runs is part of the byte-identity
+        // contract the snapshot and determinism pins rely on.
+        let cfg = tiny_cfg(0.5); // permanent_failures_per_day = 0
+        let mut state = crate::engine::WorldState::new(&cfg, 9);
+        let before = state.rng.state();
+        super::inject_failures(&mut state, cfg.tick_s);
+        assert_eq!(
+            state.rng.state(),
+            before,
+            "zero-rate failure injection advanced the RNG"
+        );
+        assert_eq!(state.failures, 0);
+
+        // Sanity check the counterfactual: a positive rate does draw.
+        let mut state = crate::engine::WorldState::new(&cfg, 9);
+        state.cfg.permanent_failures_per_day = 0.05;
+        super::inject_failures(&mut state, cfg.tick_s);
+        assert_ne!(state.rng.state(), before);
     }
 }

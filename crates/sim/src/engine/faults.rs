@@ -30,14 +30,17 @@ pub(crate) fn step(state: &mut WorldState, dt: f64) {
 }
 
 /// Ends transient outages whose repair time has passed. Deterministic (no
-/// RNG), so it runs even when the fault plan is disabled — there can only
-/// be suspended sensors if transients were ever enabled.
+/// RNG), so it runs even when the fault plan is disabled — the maintained
+/// suspended counter lets fault-free runs skip the scan entirely.
 fn resume_sensors(state: &mut WorldState) {
+    if state.sensors.suspended_count() == 0 {
+        return;
+    }
     for s in 0..state.cfg.num_sensors {
-        if state.suspended[s] && state.t >= state.suspend_until[s] {
-            state.suspended[s] = false;
-            state.suspend_until[s] = f64::NAN;
-            state.routing_dirty = true;
+        if state.sensors.suspended(s) && state.t >= state.sensors.suspend_until[s] {
+            state.sensors.set_suspended(s, false);
+            state.sensors.suspend_until[s] = f64::NAN;
+            state.note_liveness_changed(s);
             super::coverage::note_suspension_changed(state, SensorId(s as u32));
             state.trace.push(TraceEvent::SensorResumed {
                 t: state.t,
@@ -57,7 +60,7 @@ fn suspend_sensors(state: &mut WorldState, dt: f64) {
     let p = (rate * dt / 86_400.0).min(1.0);
     let (lo, hi) = state.cfg.faults.transient_outage_s;
     for s in 0..state.cfg.num_sensors {
-        if state.suspended[s] || state.failed[s] || state.batteries[s].is_depleted() {
+        if state.sensors.suspended(s) || state.sensors.failed(s) || state.sensors.is_depleted(s) {
             continue;
         }
         if state.rng.gen_bool(p) {
@@ -66,10 +69,10 @@ fn suspend_sensors(state: &mut WorldState, dt: f64) {
             } else {
                 lo
             };
-            state.suspended[s] = true;
-            state.suspend_until[s] = state.t + outage.max(dt);
+            state.sensors.set_suspended(s, true);
+            state.sensors.suspend_until[s] = state.t + outage.max(dt);
             state.transient_faults += 1;
-            state.routing_dirty = true;
+            state.note_liveness_changed(s);
             super::coverage::note_suspension_changed(state, SensorId(s as u32));
             state.trace.push(TraceEvent::SensorSuspended {
                 t: state.t,

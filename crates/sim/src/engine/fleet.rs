@@ -93,7 +93,11 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 }
                 let power = state.cfg.rv_model.charge_power_w;
                 let eff = state.cfg.rv_model.transfer_efficiency;
-                let t_full = state.batteries[s.index()].time_to_full(power);
+                // Materialize the battery for the stateful taper
+                // integration; the level is written back below.
+                let si = s.index();
+                let mut battery = state.sensors.battery(si);
+                let t_full = battery.time_to_full(power);
                 if t_full <= 1e-9 {
                     // Service complete: clear the request, revive
                     // routing if the sensor was dead, move on.
@@ -102,8 +106,9 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 }
                 let use_t = budget.min(t_full);
                 state.rvs[i].phase_time_s[2] += use_t;
-                let was_dead = state.batteries[s.index()].is_depleted();
-                let delivered = state.batteries[s.index()].charge_for(power, use_t);
+                let was_dead = battery.is_depleted();
+                let delivered = battery.charge_for(power, use_t);
+                state.sensors.set_level(si, battery.level());
                 state.total_delivered_j += delivered;
                 state.metrics.record_recharge_energy(delivered);
                 let src = delivered / eff;
@@ -113,12 +118,12 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 // Coverage cache: revival is the *battery* transition out
                 // of depletion (a sensor deployed dead has no
                 // `was_depleted` entry yet still rejoins the alive set).
-                if was_dead && !state.batteries[s.index()].is_depleted() {
+                if was_dead && !state.sensors.is_depleted(si) {
                     super::coverage::note_revived(state, s);
                 }
-                if state.was_depleted[s.index()] && !state.batteries[s.index()].is_depleted() {
-                    state.was_depleted[s.index()] = false;
-                    state.routing_dirty = true;
+                if state.sensors.was_depleted(si) && !state.sensors.is_depleted(si) {
+                    state.sensors.set_was_depleted(si, false);
+                    state.note_liveness_changed(si);
                     state.trace.push(crate::TraceEvent::SensorRevived {
                         t: state.t,
                         sensor: s,
@@ -207,7 +212,7 @@ fn advance_route(state: &mut WorldState, i: usize, s: SensorId) {
 /// failed (there is nothing left to charge). Returns `true` when the
 /// stop was skipped.
 fn skip_if_failed(state: &mut WorldState, i: usize, s: SensorId) -> bool {
-    if !state.failed[s.index()] {
+    if !state.sensors.failed(s.index()) {
         return false;
     }
     advance_route(state, i, s);

@@ -25,21 +25,20 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
 
     // --- Per-sensor state machine --------------------------------------
     for s in 0..n {
-        let b = &state.batteries[s];
-        if !(b.level().is_finite() && (0.0..=b.capacity() + 1e-9).contains(&b.level())) {
+        let level = state.sensors.level[s];
+        let capacity = state.sensors.capacity[s];
+        if !(level.is_finite() && (0.0..=capacity + 1e-9).contains(&level)) {
             return Err(format!(
-                "sensor {s} battery out of bounds: {} of {}",
-                b.level(),
-                b.capacity()
+                "sensor {s} battery out of bounds: {level} of {capacity}"
             ));
         }
-        if state.failed[s] && !b.is_depleted() {
+        if state.sensors.failed(s) && !state.sensors.is_depleted(s) {
             return Err(format!("failed sensor {s} still holds charge"));
         }
-        if state.suspended[s] && !state.suspend_until[s].is_finite() {
+        if state.sensors.suspended(s) && !state.sensors.suspend_until[s].is_finite() {
             return Err(format!("suspended sensor {s} has no repair time"));
         }
-        if !state.suspended[s] && !state.suspend_until[s].is_nan() {
+        if !state.sensors.suspended(s) && !state.sensors.suspend_until[s].is_nan() {
             return Err(format!("sensor {s} has a stale suspension timer"));
         }
         let id = SensorId(s as u32);
@@ -87,7 +86,7 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
             // A routed stop is claimed on the board, except a sensor that
             // permanently failed after planning (the fleet skips it on
             // arrival).
-            if !state.board.is_assigned(s) && !state.failed[s.index()] {
+            if !state.board.is_assigned(s) && !state.sensors.failed(s.index()) {
                 return Err(format!("{} routes unclaimed sensor {s}", rv.id));
             }
         }
@@ -105,18 +104,25 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
     }
 
     // --- Fault ledgers --------------------------------------------------
-    let failed_now = state.failed.iter().filter(|&&f| f).count() as u64;
+    let failed_now = (0..n).filter(|&s| state.sensors.failed(s)).count() as u64;
     if state.failures != failed_now {
         return Err(format!(
             "failure ledger {} disagrees with {} failed sensors",
             state.failures, failed_now
         ));
     }
-    let depleted_now = state.was_depleted.iter().filter(|&&d| d).count() as u64;
+    let depleted_now = (0..n).filter(|&s| state.sensors.was_depleted(s)).count() as u64;
     if state.deaths + state.failures < depleted_now {
         return Err(format!(
             "{} sensors are down but only {} deaths + {} failures were recorded",
             depleted_now, state.deaths, state.failures
+        ));
+    }
+    let suspended_now = (0..n).filter(|&s| state.sensors.suspended(s)).count();
+    if state.sensors.suspended_count() != suspended_now {
+        return Err(format!(
+            "suspended counter {} disagrees with {suspended_now} suspended flags",
+            state.sensors.suspended_count()
         ));
     }
 
@@ -126,10 +132,14 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
     // differential-oracle half of the coverage-cache contract.
     super::coverage::verify(state)?;
 
+    // --- Routing tree vs. naive oracle ----------------------------------
+    // The incremental tree/loads half of the contract (DESIGN.md §4f).
+    verify_routing(state)?;
+
     // --- Energy conservation -------------------------------------------
     // Sensors: stored(t) = stored(0) − drained − lost-to-hw-failure
     //          + delivered-by-RVs.
-    let stored: f64 = state.batteries.iter().map(|b| b.level()).sum();
+    let stored: f64 = state.sensors.level.iter().sum();
     let expected = state.initial_sensor_j - state.total_drained_j - state.failure_lost_j
         + state.total_delivered_j;
     let scale = 1.0
@@ -153,6 +163,64 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
         ));
     }
 
+    Ok(())
+}
+
+/// Differential audit of the event-incremental routing tree against the
+/// naive pipeline (DESIGN.md §4f). Two layers, gated on the pending
+/// dirty work:
+///
+/// * Unless a full rebuild is pending (snapshot resume restores the
+///   last-refresh loads over a freshly rebuilt tree, which is only
+///   reconciled at the next refresh), the tree must verify against its
+///   *own* enabled/generator sets — a from-scratch canonical Dijkstra +
+///   count fold, demanded bitwise.
+/// * When *no* work is pending at all, the tree's inputs must also match
+///   ground truth: enabled == on-duty, generators == stored active
+///   flags, and the flags themselves must equal the wholesale activity
+///   recompute. Combined with layer one this pins the maintained loads
+///   to exactly what the historical naive refresh would have produced.
+pub(crate) fn verify_routing(state: &WorldState) -> Result<(), String> {
+    if !state.routing_dirty.is_full() {
+        state
+            .routing
+            .verify(&state.graph)
+            .map_err(|e| format!("routing tree: {e}"))?;
+    }
+    if state.routing_dirty.any() {
+        return Ok(());
+    }
+    let n = state.cfg.num_sensors;
+    for s in 0..n {
+        let on = state.on_duty(SensorId(s as u32));
+        if state.routing.enabled(s + 1) != on {
+            return Err(format!(
+                "routing node {} enabled bit {} != on-duty {on} with no dirty work pending",
+                s + 1,
+                state.routing.enabled(s + 1)
+            ));
+        }
+        if state.routing.generator(s + 1) != state.sensors.active(s) {
+            return Err(format!(
+                "routing node {} generator bit {} != active flag with no dirty work pending",
+                s + 1,
+                state.routing.generator(s + 1)
+            ));
+        }
+    }
+    let (active, dormant) = super::activity::naive_activity(state);
+    for s in 0..n {
+        if state.sensors.active(s) != active[s] || state.sensors.dormant(s) != dormant[s] {
+            return Err(format!(
+                "sensor {s} activity flags (active {}, dormant {}) diverged from the \
+                 wholesale recompute (active {}, dormant {})",
+                state.sensors.active(s),
+                state.sensors.dormant(s),
+                active[s],
+                dormant[s]
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -194,8 +262,21 @@ mod tests {
     #[test]
     fn stale_suspension_timer_is_caught() {
         let mut state = tiny_state();
-        state.suspend_until[5] = 100.0; // timer without the suspended flag
+        state.sensors.suspend_until[5] = 100.0; // timer without the suspended flag
         assert!(check(&state).unwrap_err().contains("stale suspension"));
+    }
+
+    #[test]
+    fn corrupted_routing_generator_is_caught() {
+        let mut state = tiny_state();
+        // Flip one stored active flag without telling the tree: the
+        // generator/flag comparison (or the wholesale-activity oracle)
+        // must notice.
+        let s = (0..state.cfg.num_sensors)
+            .find(|&s| state.sensors.active(s))
+            .expect("a fresh world has at least one active sensor");
+        state.sensors.set_active(s, false);
+        assert!(check(&state).is_err());
     }
 
     #[test]

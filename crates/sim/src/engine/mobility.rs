@@ -102,9 +102,10 @@ pub(crate) fn rebuild_clusters(state: &mut WorldState) {
             state.group_of[m.index()] = Some(gid);
         }
     }
-    state.routing_dirty = true;
-    // The cluster structure changed: the incremental coverage cache must
-    // be rebuilt wholesale (the only non-event-wise moment it has).
+    // The cluster structure changed: both incremental caches fall back to
+    // their wholesale rebuilds (the only non-event-wise moment they have)
+    // — a full routing refresh supersedes any queued node/cluster events.
+    state.routing_dirty.note_full();
     super::coverage::rebuild(state);
 }
 

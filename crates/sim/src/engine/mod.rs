@@ -46,9 +46,294 @@ use rand::{Rng, SeedableRng};
 use wrsn_core::{
     ClusterId, ClusterSet, ErpController, RechargePolicy, RoundRobinRota, RvId, SensorId,
 };
+use wrsn_energy::{Battery, ChargeModel};
 use wrsn_geom::{Field, Point2};
 use wrsn_metrics::EvalMetrics;
-use wrsn_net::{CommGraph, TrafficLoad};
+use wrsn_net::{CommGraph, DynamicRoutingTree};
+
+/// Sensor flag bit: battery has crossed into depletion and has not been
+/// revived since (`was_depleted` in the pre-SoA layout).
+pub(crate) const F_WAS_DEPLETED: u8 = 1 << 0;
+/// Sensor flag bit: permanent hardware failure (never rechargeable).
+pub(crate) const F_FAILED: u8 = 1 << 1;
+/// Sensor flag bit: transient outage in progress (off duty, battery held).
+pub(crate) const F_SUSPENDED: u8 = 1 << 2;
+/// Sensor flag bit: actively monitoring a target this slot.
+pub(crate) const F_ACTIVE: u8 = 1 << 3;
+/// Sensor flag bit: fully asleep this slot (off-duty round-robin member).
+pub(crate) const F_DORMANT: u8 = 1 << 4;
+
+/// Per-sensor hot state in structure-of-arrays layout (DESIGN.md §4f).
+///
+/// The per-tick loops (battery drain, failure injection, liveness scans)
+/// stride over one or two flat arrays instead of an array-of-structs, and
+/// the five per-sensor booleans (was-depleted / failed / suspended /
+/// active / dormant) are packed into one byte per sensor.
+///
+/// Battery arithmetic stays bitwise identical to the pre-SoA
+/// [`wrsn_energy::Battery`] code: [`SensorSoA::draw`] mirrors
+/// `Battery::draw` operation for operation, and the charging paths
+/// materialize a real `Battery` via [`SensorSoA::battery`] and store the
+/// level back — stored levels are always within `[0, capacity]`, so the
+/// round-trip through `Battery::with_level` is lossless.
+pub(crate) struct SensorSoA {
+    /// Battery level (J), parallel to every other array here.
+    pub(crate) level: Vec<f64>,
+    /// Battery capacity (J).
+    pub(crate) capacity: Vec<f64>,
+    /// Per-sensor charge model (snapshots persist it per battery).
+    pub(crate) model: Vec<ChargeModel>,
+    /// Packed `F_*` flag bits.
+    pub(crate) flags: Vec<u8>,
+    /// When each suspended sensor's outage ends (NaN when not suspended).
+    pub(crate) suspend_until: Vec<f64>,
+    /// Number of sensors with [`F_SUSPENDED`] set — lets the fault
+    /// phase's resume scan early-out on the (common) fault-free runs.
+    suspended_count: usize,
+}
+
+impl SensorSoA {
+    /// Columnizes freshly-built batteries; all flags clear, no timers.
+    pub(crate) fn from_batteries(batteries: &[Battery]) -> Self {
+        Self {
+            level: batteries.iter().map(|b| b.level()).collect(),
+            capacity: batteries.iter().map(|b| b.capacity()).collect(),
+            model: batteries.iter().map(|b| b.charge_model()).collect(),
+            flags: vec![0; batteries.len()],
+            suspend_until: vec![f64::NAN; batteries.len()],
+            suspended_count: 0,
+        }
+    }
+
+    /// Number of sensors.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Mirrors [`Battery::is_depleted`].
+    #[inline]
+    pub(crate) fn is_depleted(&self, s: usize) -> bool {
+        self.level[s] <= 0.0
+    }
+
+    /// Mirrors [`Battery::soc`].
+    #[inline]
+    pub(crate) fn soc(&self, s: usize) -> f64 {
+        self.level[s] / self.capacity[s]
+    }
+
+    /// Mirrors [`Battery::deficit`].
+    #[inline]
+    pub(crate) fn deficit(&self, s: usize) -> f64 {
+        self.capacity[s] - self.level[s]
+    }
+
+    /// Mirrors [`Battery::draw`] exactly (same min/subtract sequence, so
+    /// the result is bitwise identical to the pre-SoA battery code).
+    #[inline]
+    pub(crate) fn draw(&mut self, s: usize, joules: f64) -> f64 {
+        debug_assert!(joules.is_finite() && joules >= 0.0);
+        let delivered = joules.min(self.level[s]);
+        self.level[s] -= delivered;
+        delivered
+    }
+
+    /// Materializes sensor `s`'s battery for the charging paths
+    /// ([`Battery::charge_for`] / [`Battery::time_to_full`] need the
+    /// stateful taper integration). Store the level back with
+    /// [`SensorSoA::set_level`] after mutating.
+    #[inline]
+    pub(crate) fn battery(&self, s: usize) -> Battery {
+        Battery::with_level(self.capacity[s], self.level[s]).with_charge_model(self.model[s])
+    }
+
+    /// Writes a battery level back after a materialized-battery mutation.
+    #[inline]
+    pub(crate) fn set_level(&mut self, s: usize, level: f64) {
+        self.level[s] = level;
+    }
+
+    #[inline]
+    pub(crate) fn was_depleted(&self, s: usize) -> bool {
+        self.flags[s] & F_WAS_DEPLETED != 0
+    }
+
+    #[inline]
+    pub(crate) fn failed(&self, s: usize) -> bool {
+        self.flags[s] & F_FAILED != 0
+    }
+
+    #[inline]
+    pub(crate) fn suspended(&self, s: usize) -> bool {
+        self.flags[s] & F_SUSPENDED != 0
+    }
+
+    #[inline]
+    pub(crate) fn active(&self, s: usize) -> bool {
+        self.flags[s] & F_ACTIVE != 0
+    }
+
+    #[inline]
+    pub(crate) fn dormant(&self, s: usize) -> bool {
+        self.flags[s] & F_DORMANT != 0
+    }
+
+    #[inline]
+    fn set_flag(&mut self, s: usize, bit: u8, on: bool) {
+        if on {
+            self.flags[s] |= bit;
+        } else {
+            self.flags[s] &= !bit;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_was_depleted(&mut self, s: usize, on: bool) {
+        self.set_flag(s, F_WAS_DEPLETED, on);
+    }
+
+    #[inline]
+    pub(crate) fn set_failed(&mut self, s: usize, on: bool) {
+        self.set_flag(s, F_FAILED, on);
+    }
+
+    /// Sets the suspension bit, keeping the suspended counter exact.
+    #[inline]
+    pub(crate) fn set_suspended(&mut self, s: usize, on: bool) {
+        if self.suspended(s) != on {
+            self.set_flag(s, F_SUSPENDED, on);
+            if on {
+                self.suspended_count += 1;
+            } else {
+                self.suspended_count -= 1;
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_active(&mut self, s: usize, on: bool) {
+        self.set_flag(s, F_ACTIVE, on);
+    }
+
+    #[inline]
+    pub(crate) fn set_dormant(&mut self, s: usize, on: bool) {
+        self.set_flag(s, F_DORMANT, on);
+    }
+
+    /// Sensors currently suspended by a transient outage.
+    #[inline]
+    pub(crate) fn suspended_count(&self) -> usize {
+        self.suspended_count
+    }
+}
+
+/// Deduplicated dirty-sets feeding the event-incremental routing refresh
+/// (the routing half of the invalidation contract, DESIGN.md §4f).
+///
+/// Three granularities, coarsest wins:
+///
+/// * `full` — the cluster structure itself changed (mobility rebuild,
+///   snapshot resume with pending work): wholesale activity recompute +
+///   full Dijkstra rebuild. Queued node/cluster events are dropped (a
+///   full rebuild supersedes them) and new ones are not collected.
+/// * `slots` — every rota advanced: re-derive activity for all clusters
+///   (holder handovers are generator flips on the maintained tree).
+/// * node/cluster sets — a liveness change re-enables/disables one
+///   routing node and re-derives activity for its cluster only.
+#[derive(Debug, Default)]
+pub(crate) struct RoutingDirty {
+    /// Sensor indices whose on-duty bit may have changed (deduplicated).
+    pub(crate) nodes: Vec<u32>,
+    node_flag: Vec<bool>,
+    /// Cluster indices whose activity must be re-derived (deduplicated).
+    pub(crate) clusters: Vec<u32>,
+    cluster_flag: Vec<bool>,
+    /// Every rota advanced a slot: all clusters need re-derivation.
+    pub(crate) slots: bool,
+    /// The cluster structure changed: wholesale recompute + full rebuild.
+    pub(crate) full: bool,
+}
+
+impl RoutingDirty {
+    pub(crate) fn new(num_sensors: usize) -> Self {
+        Self {
+            nodes: Vec::new(),
+            node_flag: vec![false; num_sensors],
+            clusters: Vec::new(),
+            cluster_flag: Vec::new(),
+            slots: false,
+            full: false,
+        }
+    }
+
+    /// Queues sensor `s` for a liveness (enabled-set) re-check.
+    pub(crate) fn note_node(&mut self, s: usize) {
+        if self.full || self.node_flag[s] {
+            return;
+        }
+        self.node_flag[s] = true;
+        self.nodes.push(s as u32);
+    }
+
+    /// Queues cluster `ci` for an activity re-derivation.
+    pub(crate) fn note_cluster(&mut self, ci: usize) {
+        if self.full {
+            return;
+        }
+        if ci >= self.cluster_flag.len() {
+            self.cluster_flag.resize(ci + 1, false);
+        }
+        if !self.cluster_flag[ci] {
+            self.cluster_flag[ci] = true;
+            self.clusters.push(ci as u32);
+        }
+    }
+
+    /// Every rota advanced one slot.
+    pub(crate) fn note_slots(&mut self) {
+        if !self.full {
+            self.slots = true;
+        }
+    }
+
+    /// The cluster structure changed: demote everything queued to one
+    /// full rebuild.
+    pub(crate) fn note_full(&mut self) {
+        self.full = true;
+        self.slots = false;
+        for s in self.nodes.drain(..) {
+            self.node_flag[s as usize] = false;
+        }
+        for c in self.clusters.drain(..) {
+            self.cluster_flag[c as usize] = false;
+        }
+    }
+
+    /// Whether any refresh work is pending.
+    pub(crate) fn any(&self) -> bool {
+        self.full || self.slots || !self.nodes.is_empty() || !self.clusters.is_empty()
+    }
+
+    /// Whether a full rebuild is pending (supersedes the queues).
+    pub(crate) fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Clears all pending work after a refresh, (re)sizing the cluster
+    /// flag column for the current cluster count.
+    pub(crate) fn reset(&mut self, num_clusters: usize) {
+        for s in self.nodes.drain(..) {
+            self.node_flag[s as usize] = false;
+        }
+        for c in self.clusters.drain(..) {
+            self.cluster_flag[c as usize] = false;
+        }
+        self.cluster_flag.resize(num_clusters, false);
+        self.slots = false;
+        self.full = false;
+    }
+}
 
 /// Everything the engine subsystems share. Fields are `pub(crate)`: the
 /// subsystem modules are the only writers, and [`crate::World`] exposes
@@ -65,8 +350,9 @@ pub(crate) struct WorldState {
     pub(crate) base: Point2,
 
     pub(crate) sensor_pos: Vec<Point2>,
-    pub(crate) batteries: Vec<wrsn_energy::Battery>,
-    pub(crate) was_depleted: Vec<bool>,
+    /// All hot per-sensor state (battery columns, packed status flags,
+    /// suspension timers) in structure-of-arrays layout.
+    pub(crate) sensors: SensorSoA,
 
     pub(crate) target_pos: Vec<Point2>,
     pub(crate) target_next_move: Vec<f64>,
@@ -91,16 +377,18 @@ pub(crate) struct WorldState {
     pub(crate) group_arena: Vec<SensorId>,
 
     pub(crate) graph: CommGraph,
-    pub(crate) loads: Vec<TrafficLoad>,
-    /// Monitoring a target this slot: detector powered, data generated at
-    /// λ.
-    pub(crate) active: Vec<bool>,
-    /// Fully asleep this slot: off-duty round-robin cluster members switch
-    /// their detector off entirely — the rota holder covers their region
-    /// (§III-C "redundant sensors can be switched off"). Everyone else
-    /// runs the duty-cycled watch.
-    pub(crate) dormant: Vec<bool>,
-    pub(crate) routing_dirty: bool,
+    /// Event-incremental routing tree + relay loads over
+    /// `[base, sensors…]` (node 0 = sink). Enabled set = on-duty sensors;
+    /// generator set = sensors with [`F_ACTIVE`] (monitoring a target this
+    /// slot, detector powered, data generated at λ; off-duty round-robin
+    /// members are [`F_DORMANT`] instead — detector off entirely, §III-C
+    /// "redundant sensors can be switched off" — and everyone else runs
+    /// the duty-cycled watch). Repaired event-wise by
+    /// [`activity::refresh_routing`] from the [`RoutingDirty`] queues; the
+    /// naive Dijkstra + fold pipeline stays in the build as the
+    /// differential oracle [`invariants`] checks every debug tick.
+    pub(crate) routing: DynamicRoutingTree,
+    pub(crate) routing_dirty: RoutingDirty,
 
     pub(crate) erp: ErpController,
     pub(crate) board: RequestBoard,
@@ -119,17 +407,14 @@ pub(crate) struct WorldState {
     pub(crate) plans: u64,
     pub(crate) rv_shortfall_j: f64,
 
-    /// Permanently failed (failure injection); never rechargeable.
-    pub(crate) failed: Vec<bool>,
+    /// Permanent-failure events injected so far (the flags themselves
+    /// live in [`SensorSoA::flags`]).
     pub(crate) failures: u64,
     pub(crate) trace: crate::Trace,
 
-    /// Chaos engine — transient outages: suspended sensors are off duty
-    /// (no sensing, no relaying, no requesting) but keep their battery.
-    pub(crate) suspended: Vec<bool>,
-    /// When each suspended sensor's outage ends (NaN when not suspended).
-    pub(crate) suspend_until: Vec<f64>,
-    /// Transient-outage events injected so far.
+    /// Transient-outage events injected so far (chaos engine: suspended
+    /// sensors are off duty — no sensing, no relaying, no requesting —
+    /// but keep their battery).
     pub(crate) transient_faults: u64,
     /// RV breakdown events injected so far.
     pub(crate) rv_breakdowns: u64,
@@ -144,6 +429,11 @@ pub(crate) struct WorldState {
     /// by [`coverage::rebuild`] whenever clustering changes; updated
     /// event-wise by the `coverage::note_*` hooks otherwise.
     pub(crate) coverage: coverage::CoverageCache,
+
+    /// Scratch buffer reused by [`dispatch::manage_requests`] for the
+    /// dirty request-group ids it collects each tick (avoids a per-tick
+    /// allocation on the hot path).
+    pub(crate) group_scratch: Vec<u32>,
 
     /// Conservation ledgers for the invariant checker: energy stored in
     /// sensor batteries at t = 0, energy discarded when hardware
@@ -206,6 +496,7 @@ impl WorldState {
 
         let initial_sensor_j: f64 = batteries.iter().map(|b| b.level()).sum();
         let initial_fleet_j = cfg.num_rvs as f64 * cfg.rv_model.battery_capacity_j;
+        let routing = DynamicRoutingTree::new(cfg.num_sensors + 1, 0, cfg.data_rate_pps);
         let mut state = Self {
             seed,
             scheduler,
@@ -213,8 +504,7 @@ impl WorldState {
             t: 0.0,
             base,
             sensor_pos,
-            batteries,
-            was_depleted: vec![false; cfg.num_sensors],
+            sensors: SensorSoA::from_batteries(&batteries),
             target_waypoint: target_pos.clone(),
             target_anchor: target_pos.clone(),
             target_pos,
@@ -227,10 +517,8 @@ impl WorldState {
             groups: Vec::new(),
             group_arena: Vec::new(),
             graph,
-            loads: Vec::new(),
-            active: vec![false; cfg.num_sensors],
-            dormant: vec![false; cfg.num_sensors],
-            routing_dirty: true,
+            routing,
+            routing_dirty: RoutingDirty::new(cfg.num_sensors),
             erp,
             board: RequestBoard::new(cfg.num_sensors),
             next_plan_ok: 0.0,
@@ -243,16 +531,14 @@ impl WorldState {
             deaths: 0,
             plans: 0,
             rv_shortfall_j: 0.0,
-            failed: vec![false; cfg.num_sensors],
             failures: 0,
             trace: crate::Trace::disabled(),
-            suspended: vec![false; cfg.num_sensors],
-            suspend_until: vec![f64::NAN; cfg.num_sensors],
             transient_faults: 0,
             rv_breakdowns: 0,
             uplink_drops: 0,
             replan_urgent: false,
             coverage: coverage::CoverageCache::default(),
+            group_scratch: Vec::new(),
             initial_sensor_j,
             failure_lost_j: 0.0,
             initial_fleet_j,
@@ -277,7 +563,18 @@ impl WorldState {
     /// Whether sensor `s` can perform duty right now: battery not
     /// depleted and not suspended by a transient fault.
     pub(crate) fn on_duty(&self, s: SensorId) -> bool {
-        !self.batteries[s.index()].is_depleted() && !self.suspended[s.index()]
+        !self.sensors.is_depleted(s.index()) && !self.sensors.suspended(s.index())
+    }
+
+    /// Records that sensor `s`'s on-duty liveness may have flipped
+    /// (depletion, revival, failure, suspension, resume): queues the
+    /// routing node *and* its assigned cluster (the cluster's rota may
+    /// fail over to a different holder) for the incremental refresh.
+    pub(crate) fn note_liveness_changed(&mut self, s: usize) {
+        self.routing_dirty.note_node(s);
+        if let Some(ci) = self.assignment[s] {
+            self.routing_dirty.note_cluster(ci.index());
+        }
     }
 
     /// Fraction of *coverable* targets (targets with at least one candidate

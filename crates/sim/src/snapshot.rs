@@ -20,9 +20,11 @@
 //! the field/base geometry, the communication graph (deterministic from
 //! sensor positions), the ERP controller, the scheduler (rebuilt from the
 //! stored `seed` — the only seeded policy, Partition, keeps nothing but
-//! its seed), and the incremental coverage cache (rebuilt from ground
+//! its seed), the incremental coverage cache (rebuilt from ground
 //! truth; its reads are always recount-exact, so a fresh cache continues
-//! identically to a dirty one).
+//! identically to a dirty one), and the event-incremental routing tree
+//! (a pure function of the restored enabled/generator sets — only its
+//! maintained loads and the one pending-refresh bit are stored).
 //!
 //! The continuation guarantee — run to tick `T`, snapshot, resume, run to
 //! `T+N` produces bit-identical traces, metrics and ledgers to an
@@ -31,7 +33,7 @@
 //! profiles. Versioning is strict: a snapshot written by a different
 //! `VERSION` is rejected, never reinterpreted.
 
-use crate::engine::{self, WorldState};
+use crate::engine::{self, RoutingDirty, SensorSoA, WorldState};
 use crate::{
     FaultConfig, RequestBoard, RvAgent, RvPhase, SimConfig, TargetMobility, Trace, TraceEvent,
 };
@@ -44,7 +46,7 @@ use wrsn_energy::{
 };
 use wrsn_geom::{Deployment, Field, Point2};
 use wrsn_metrics::{EvalMetrics, TimeSeries};
-use wrsn_net::{CommGraph, TrafficLoad};
+use wrsn_net::{CommGraph, DynamicRoutingTree, TrafficLoad};
 
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"WRSNSNAP";
@@ -783,11 +785,20 @@ pub(crate) fn encode(state: &WorldState) -> Vec<u8> {
     e.f64(state.t);
 
     e.points(&state.sensor_pos);
-    e.len(state.batteries.len());
-    for b in &state.batteries {
-        encode_battery(&mut e, b);
+    // The SoA columns are written in the exact byte layout the AoS
+    // `Vec<Battery>` used, so the format (and VERSION) is unchanged.
+    let n = state.sensors.len();
+    e.len(n);
+    for s in 0..n {
+        e.f64(state.sensors.capacity[s]);
+        e.f64(state.sensors.level[s]);
+        e.f64(state.sensors.model[s].taper_start);
+        e.f64(state.sensors.model[s].min_accept);
     }
-    e.bools(&state.was_depleted);
+    e.len(n);
+    for s in 0..n {
+        e.bool(state.sensors.was_depleted(s));
+    }
 
     e.points(&state.target_pos);
     e.f64s(&state.target_next_move);
@@ -821,14 +832,23 @@ pub(crate) fn encode(state: &WorldState) -> Vec<u8> {
     }
     e.sensor_ids(&state.group_arena);
 
-    e.len(state.loads.len());
-    for l in &state.loads {
+    let loads = state.routing.loads();
+    e.len(loads.len());
+    for l in loads {
         e.f64(l.tx_pps);
         e.f64(l.rx_pps);
     }
-    e.bools(&state.active);
-    e.bools(&state.dormant);
-    e.bool(state.routing_dirty);
+    e.len(n);
+    for s in 0..n {
+        e.bool(state.sensors.active(s));
+    }
+    e.len(n);
+    for s in 0..n {
+        e.bool(state.sensors.dormant(s));
+    }
+    // The queued dirty events collapse to one bit: decode turns it back
+    // into a pending full refresh, which subsumes any finer-grained set.
+    e.bool(state.routing_dirty.any());
 
     let (pending, released, assigned, released_at, attempts, retry_at) = state.board.raw();
     e.bools(pending);
@@ -859,7 +879,10 @@ pub(crate) fn encode(state: &WorldState) -> Vec<u8> {
     e.u64(state.plans);
     e.f64(state.rv_shortfall_j);
 
-    e.bools(&state.failed);
+    e.len(n);
+    for s in 0..n {
+        e.bool(state.sensors.failed(s));
+    }
     e.u64(state.failures);
 
     e.bool(state.trace.is_enabled());
@@ -870,8 +893,11 @@ pub(crate) fn encode(state: &WorldState) -> Vec<u8> {
         encode_trace_event(&mut e, ev);
     }
 
-    e.bools(&state.suspended);
-    e.f64s(&state.suspend_until);
+    e.len(n);
+    for s in 0..n {
+        e.bool(state.sensors.suspended(s));
+    }
+    e.f64s(&state.sensors.suspend_until);
     e.u64(state.transient_faults);
     e.u64(state.rv_breakdowns);
     e.u64(state.uplink_drops);
@@ -994,6 +1020,11 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
     let group_arena = d.sensor_ids()?;
 
     let n_loads = d.len()?;
+    if n_loads != n + 1 {
+        return Err(SnapshotError::Corrupt(format!(
+            "{n_loads} traffic loads for {n} sensors (+ sink)"
+        )));
+    }
     let loads: Vec<TrafficLoad> = (0..n_loads)
         .map(|_| {
             Ok(TrafficLoad {
@@ -1006,7 +1037,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
     per_sensor(active.len(), "active flags")?;
     let dormant = d.bools()?;
     per_sensor(dormant.len(), "dormant flags")?;
-    let routing_dirty = d.bool()?;
+    let dirty = d.bool()?;
 
     let pending = d.bools()?;
     let released = d.bools()?;
@@ -1116,6 +1147,38 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
     let erp = ErpController::new(cfg.activity.effective_k());
     let scheduler = cfg.scheduler.build(seed);
 
+    // Reassemble the SoA columns from the decoded per-sensor vectors
+    // (the flag setters also recount the suspended counter).
+    let mut sensors = SensorSoA::from_batteries(&batteries);
+    for s in 0..n {
+        sensors.set_was_depleted(s, was_depleted[s]);
+        sensors.set_failed(s, failed[s]);
+        sensors.set_suspended(s, suspended[s]);
+        sensors.set_active(s, active[s]);
+        sensors.set_dormant(s, dormant[s]);
+        sensors.suspend_until[s] = suspend_until[s];
+    }
+
+    // The routing tree is a pure function of the graph + final
+    // enabled/generator sets (DESIGN.md §4f), so rebuilding from the
+    // restored flags reproduces the live tree exactly. The maintained
+    // loads are restored verbatim: if the snapshot was clean they equal
+    // the rebuild's (pure function again, byte-for-byte); if it was
+    // dirty they are the stale pre-refresh values an uninterrupted run
+    // would still be carrying, and the pending full refresh below
+    // reconciles them at the next tick, exactly as it would have live.
+    let mut routing = DynamicRoutingTree::new(n + 1, 0, cfg.data_rate_pps);
+    routing.rebuild(
+        &graph,
+        |v| v == 0 || (!sensors.is_depleted(v - 1) && !sensors.suspended(v - 1)),
+        |v| v > 0 && sensors.active(v - 1),
+    );
+    routing.restore_loads(&loads);
+    let mut routing_dirty = RoutingDirty::new(n);
+    if dirty {
+        routing_dirty.note_full();
+    }
+
     let mut state = WorldState {
         seed,
         scheduler,
@@ -1123,8 +1186,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
         t,
         base,
         sensor_pos,
-        batteries,
-        was_depleted,
+        sensors,
         target_pos,
         target_next_move,
         target_waypoint,
@@ -1137,10 +1199,9 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
         groups,
         group_arena,
         graph,
-        loads,
-        active,
-        dormant,
+        routing,
         routing_dirty,
+        group_scratch: Vec::new(),
         erp,
         board,
         next_plan_ok,
@@ -1153,11 +1214,8 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
         deaths,
         plans,
         rv_shortfall_j,
-        failed,
         failures,
         trace,
-        suspended,
-        suspend_until,
         transient_faults,
         rv_breakdowns,
         uplink_drops,

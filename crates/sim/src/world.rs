@@ -83,9 +83,11 @@ impl World {
         self.state.alive_count()
     }
 
-    /// Battery state of sensor `s`.
-    pub fn battery(&self, s: SensorId) -> &wrsn_energy::Battery {
-        &self.state.batteries[s.index()]
+    /// Battery state of sensor `s`, materialized from the SoA columns
+    /// (returned by value — the engine no longer stores `Battery`
+    /// structs per sensor).
+    pub fn battery(&self, s: SensorId) -> wrsn_energy::Battery {
+        self.state.sensors.battery(s.index())
     }
 
     /// The RV agents (read-only view for tests/examples).
@@ -145,7 +147,7 @@ impl World {
 
     /// Whether sensor `s` is actively monitoring a target this slot.
     pub fn is_active(&self, s: SensorId) -> bool {
-        self.state.active[s.index()]
+        self.state.sensors.active(s.index())
     }
 
     /// Enables event tracing, retaining at most `cap` events.
@@ -165,7 +167,7 @@ impl World {
 
     /// Whether sensor `s` has permanently failed.
     pub fn is_failed(&self, s: SensorId) -> bool {
-        self.state.failed[s.index()]
+        self.state.sensors.failed(s.index())
     }
 
     /// Runs to the configured duration and returns the outcome.
@@ -228,14 +230,13 @@ impl World {
         engine::faults::step(state, dt);
 
         // 4. Energy: failure injection (Poisson per-sensor hardware
-        //    faults)…
-        if state.cfg.permanent_failures_per_day > 0.0 {
-            engine::energy::inject_failures(state, dt);
-        }
+        //    faults; returns immediately — touching no RNG — at rate 0).
+        engine::energy::inject_failures(state, dt);
 
         // 5. …activity/routing/relay-load refresh where phases 1–4 left
-        //    them stale…
-        if state.routing_dirty {
+        //    them stale: replays the dirty queues event-incrementally, or
+        //    falls back to a full rebuild after cluster changes.
+        if state.routing_dirty.any() {
             engine::activity::refresh_routing(state);
         }
 
@@ -328,7 +329,26 @@ impl World {
 
     /// Whether sensor `s` is currently suspended by a transient fault.
     pub fn is_suspended(&self, s: SensorId) -> bool {
-        self.state.suspended[s.index()]
+        self.state.sensors.suspended(s.index())
+    }
+
+    /// Flushes any pending incremental routing work, then audits the
+    /// maintained routing tree + relay loads + activity flags against the
+    /// naive pipeline (wholesale activity recompute + from-scratch
+    /// canonical Dijkstra + count fold), demanding bitwise agreement.
+    ///
+    /// The flush is behaviour-neutral: the refreshed tree is a pure
+    /// function of the final enabled/generator sets, so replaying the
+    /// queues now produces exactly the state the next `step` would have
+    /// built at its phase-5 refresh (DESIGN.md §4f). Debug builds run the
+    /// same audit inside the per-tick invariant checker; release-mode
+    /// property tests (`tests/routing_incremental.rs`) call this
+    /// explicitly.
+    pub fn verify_routing(&mut self) -> Result<(), String> {
+        if self.state.routing_dirty.any() {
+            engine::activity::refresh_routing(&mut self.state);
+        }
+        engine::invariants::verify_routing(&self.state)
     }
 }
 

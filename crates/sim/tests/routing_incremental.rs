@@ -1,0 +1,149 @@
+//! Property-based differential oracle for the event-incremental routing
+//! tree (DESIGN.md §4f): random small worlds are driven through
+//! randomized sequences of the events that feed the routing dirty-set —
+//! deaths (low initial SoC), revivals (RV recharges), permanent hardware
+//! failures, transient suspends/resumes, rota handovers (every slot) and
+//! mobility-driven cluster rebuilds (forced teleports) — and on every
+//! tick the maintained tree + relay loads must agree **bitwise** with
+//! the naive wholesale pipeline (canonical Dijkstra rebuild + full count
+//! fold + wholesale activity recompute).
+//!
+//! In debug builds `World::step` already audits this after every tick;
+//! the explicit [`World::verify_routing`] assertions here are what make
+//! the same contract hold where debug asserts are compiled out — CI runs
+//! this suite in **both** profiles.
+
+use proptest::prelude::*;
+use wrsn_sim::{SimConfig, SimOutcome, World};
+
+prop_compose! {
+    /// Small worlds biased to produce routing churn: everyone starts low
+    /// (deaths + recharges), permanent failures and transients are
+    /// common, and targets teleport several times per run (cluster
+    /// rebuilds — the full-refresh fallback path).
+    fn arb_churny_config()(
+        sensors in 20usize..70,
+        targets in 1usize..5,
+        rvs in 1usize..4,
+        field in 40.0f64..100.0,
+        soc_lo in 0.15f64..0.4,
+        round_robin in proptest::bool::ANY,
+        failures in prop_oneof![Just(0.0), Just(0.1)],
+        transients in prop_oneof![Just(0.0), Just(6.0)],
+        teleports in proptest::bool::ANY,
+    ) -> SimConfig {
+        let mut cfg = SimConfig::small(0.5); // half a simulated day
+        cfg.num_sensors = sensors;
+        cfg.num_targets = targets;
+        cfg.num_rvs = rvs;
+        cfg.field_side = field;
+        cfg.initial_soc = (soc_lo, 1.0);
+        cfg.activity.round_robin = round_robin;
+        cfg.permanent_failures_per_day = failures;
+        cfg.faults.transients_per_day = transients;
+        cfg.faults.transient_outage_s = (120.0, 1_800.0);
+        if teleports {
+            cfg.target_period_s = 5_400.0; // several rebuilds per run
+        }
+        cfg.min_batch_demand_j = 10e3;
+        cfg
+    }
+}
+
+fn assert_same_outcome(a: &SimOutcome, b: &SimOutcome) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.report, &b.report);
+    prop_assert_eq!(a.total_drained_j, b.total_drained_j);
+    prop_assert_eq!(a.total_delivered_j, b.total_delivered_j);
+    prop_assert_eq!(a.deaths, b.deaths);
+    prop_assert_eq!(a.plans, b.plans);
+    prop_assert_eq!(a.transient_faults, b.transient_faults);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn incremental_routing_matches_naive_oracle_every_tick(
+        cfg in arb_churny_config(),
+        seed in 0u64..1_000,
+    ) {
+        // The headline property: after every tick (flushing whatever
+        // dirty events the tick queued), the maintained tree must verify
+        // bitwise against a from-scratch canonical rebuild of its own
+        // enabled/generator sets, those sets must equal ground truth
+        // (on-duty liveness / stored active flags), and the flags must
+        // equal the wholesale activity recompute.
+        let mut w = World::new(&cfg, seed);
+        if let Err(e) = w.verify_routing() {
+            return Err(TestCaseError(format!("fresh world: {e}")));
+        }
+        while !w.finished() {
+            w.step();
+            if let Err(e) = w.verify_routing() {
+                return Err(TestCaseError(format!("t = {} s: {e}", w.time())));
+            }
+        }
+        prop_assert!(w.check_invariants().is_ok(), "{:?}", w.check_invariants());
+    }
+
+    #[test]
+    fn routing_audit_is_behaviour_neutral(
+        cfg in arb_churny_config(),
+        seed in 0u64..1_000,
+    ) {
+        // `verify_routing` flushes pending dirty work early. Because the
+        // tree is a pure function of the final enabled/generator sets,
+        // flushing between ticks must be invisible: a run audited every
+        // few ticks produces bit-identical outcomes to a plain run.
+        let plain = World::new(&cfg, seed).run();
+        let mut probed = World::new(&cfg, seed);
+        let mut ticks = 0u64;
+        while !probed.finished() {
+            probed.step();
+            ticks += 1;
+            if ticks.is_multiple_of(5) {
+                if let Err(e) = probed.verify_routing() {
+                    return Err(TestCaseError(format!("t = {} s: {e}", probed.time())));
+                }
+            }
+        }
+        assert_same_outcome(&plain, &probed.outcome())?;
+    }
+
+    #[test]
+    fn resumed_world_preserves_routing_equivalence(
+        cfg in arb_churny_config(),
+        seed in 0u64..1_000,
+        cut in 50usize..200,
+    ) {
+        // Snapshot resume rebuilds the tree from the restored flags and
+        // restores the maintained loads verbatim (reconciled by a
+        // pending full refresh when the snapshot was dirty). The resumed
+        // world must satisfy the same per-tick differential contract.
+        let mut w = World::new(&cfg, seed);
+        for _ in 0..cut {
+            if w.finished() {
+                break;
+            }
+            w.step();
+        }
+        let mut resumed = match World::resume(&w.save_snapshot()) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError(format!("resume failed: {e}"))),
+        };
+        if let Err(e) = resumed.verify_routing() {
+            return Err(TestCaseError(format!("right after resume: {e}")));
+        }
+        for _ in 0..60 {
+            if resumed.finished() {
+                break;
+            }
+            resumed.step();
+            if let Err(e) = resumed.verify_routing() {
+                return Err(TestCaseError(format!("t = {} s: {e}", resumed.time())));
+            }
+        }
+        prop_assert!(resumed.check_invariants().is_ok());
+    }
+}

@@ -154,6 +154,98 @@ fn teleport_heavy_run_matches_coverage_cache_introduction_baseline() {
     );
 }
 
+/// FNV-1a 64 over a byte slice — used to pin whole artifacts (snapshot
+/// blobs) as a single literal.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The 10k-sensor long-horizon config behind the large-scale pin: the
+/// seed-test density (60 sensors / 60 m field, 1 target per 20 sensors)
+/// scaled to 10 000 sensors, with a wide initial-SoC spread so the run
+/// exercises depletions, revivals and slot handovers at scale.
+fn big(days: f64) -> SimConfig {
+    let mut cfg = SimConfig::small(days);
+    cfg.num_sensors = 10_000;
+    cfg.num_targets = 500;
+    cfg.num_rvs = 4;
+    cfg.field_side = 775.0;
+    cfg.initial_soc = (0.02, 1.0);
+    cfg
+}
+
+/// Byte-for-byte lock on the large-scale engine: runs the 10k-sensor
+/// world for a day with tracing on and pins the FNV-1a hash of the final
+/// snapshot blob. The snapshot encodes *everything* — RNG state, every
+/// battery bit pattern, every activity/liveness flag, the relay loads,
+/// the full trace and the sampled metrics series — so any fast path that
+/// perturbs a single byte of state (not just the aggregate report) fails
+/// this pin. Captured from the engine immediately before the SoA /
+/// incremental-routing refactor landed.
+///
+/// Release-only: a day of a 10k-sensor world under the debug-build
+/// per-tick invariant sweep takes minutes; the release property/CI suite
+/// runs it in seconds.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "10k-sensor pin runs in the release suite")]
+fn large_scale_run_matches_pre_soa_baseline() {
+    let cfg = big(1.0);
+    assert_eq!(cfg.faults, FaultConfig::none());
+    let mut w = World::new(&cfg, 41);
+    w.enable_trace(2_000_000);
+    let out = w.run();
+    assert_eq!(out.total_drained_j, 3859059.696699011, "drained drifted");
+    assert_eq!(
+        out.total_delivered_j, 922023.9818123144,
+        "delivered drifted"
+    );
+    assert_eq!(out.deaths, 124);
+    assert_eq!(out.plans, 4);
+    assert_eq!(out.permanent_failures, 0);
+    assert_eq!(
+        out.report.travel_distance_m, 4062.1307552744556,
+        "travel drifted"
+    );
+    assert_eq!(out.report.coverage_ratio_pct, 99.80661553050105);
+    assert_eq!(out.final_alive, 9877);
+    assert_eq!(w.trace().events().len(), 1548);
+    assert_eq!(
+        fnv1a(&w.save_snapshot()),
+        0x01260074fce9ce14,
+        "snapshot bytes drifted: some state byte differs from the pre-SoA engine"
+    );
+    // Cache/oracle cross-checks hold at scale too.
+    assert_eq!(w.coverage_ratio(), w.oracle_coverage_ratio());
+    assert_eq!(w.alive_count(), w.oracle_alive_count());
+}
+
+/// Prints the literals for [`large_scale_run_matches_pre_soa_baseline`].
+/// Run manually after an *intentional* engine-behavior change:
+/// `cargo test --release -p wrsn-sim --test zero_fault_regression -- --ignored capture --nocapture`
+#[test]
+#[ignore = "capture helper, run manually"]
+fn capture_large_scale_pin() {
+    let cfg = big(1.0);
+    let mut w = World::new(&cfg, 41);
+    w.enable_trace(2_000_000);
+    let out = w.run();
+    println!("drained:   {:?}", out.total_drained_j);
+    println!("delivered: {:?}", out.total_delivered_j);
+    println!("deaths:    {}", out.deaths);
+    println!("plans:     {}", out.plans);
+    println!("fails:     {}", out.permanent_failures);
+    println!("travel_m:  {:?}", out.report.travel_distance_m);
+    println!("coverage:  {:?}", out.report.coverage_ratio_pct);
+    println!("alive:     {}", out.final_alive);
+    println!("events:    {}", w.trace().events().len());
+    println!("snap_fnv:  {:#x}", fnv1a(&w.save_snapshot()));
+}
+
 #[test]
 fn explicit_zero_rates_equal_fault_config_none() {
     // A FaultConfig with explicitly-zero rates but non-default secondary
