@@ -8,6 +8,9 @@
 //! ```sh
 //! cargo run --release -p wrsn-bench --bin fig5_tradeoff [-- --quick]
 //! ```
+//!
+//! Scales onto the fault-tolerant sharded sweep fabric with `--shards N`
+//! (plus `--journal`, `--resume`, `--chaos-workers`; DESIGN.md §4g).
 
 use wrsn_bench::{erp_sweep, run_sweep, ExpOptions, GridPoint};
 use wrsn_core::SchedulerKind;

@@ -8,15 +8,33 @@
 //! ```sh
 //! cargo run --release -p wrsn-bench --bin fleet_sizing [-- --quick]
 //! ```
+//!
+//! Supports the shared sweep flags (`--journal`, `--resume`, `--shards`,
+//! `--chaos-workers`, …) like the figure binaries.
 
-use wrsn_bench::ExpOptions;
+use wrsn_bench::{run_jobs, ExpOptions};
 use wrsn_core::SchedulerKind;
 use wrsn_metrics::{write_csv, Table};
-use wrsn_sim::World;
+use wrsn_sim::batch::JobSpec;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let fleet_sizes = [0usize, 1, 2, 3, 4, 6];
+    let jobs: Vec<JobSpec> = fleet_sizes
+        .iter()
+        .map(|&m| {
+            let mut cfg = opts.base_config();
+            cfg.scheduler = SchedulerKind::Combined;
+            cfg.num_rvs = m;
+            JobSpec {
+                label: format!("fleet/m={m}"),
+                config: cfg,
+                seed: 0,
+            }
+        })
+        .collect();
+    let outcomes = run_jobs(&jobs, &opts);
+
     let mut table = Table::new(
         "Fleet sizing — Combined-Scheme, Table II workload",
         &[
@@ -29,12 +47,14 @@ fn main() {
             "util %",
         ],
     );
-    for &m in &fleet_sizes {
-        let mut cfg = opts.base_config();
-        cfg.scheduler = SchedulerKind::Combined;
-        cfg.num_rvs = m;
-        eprint!("m={m}… ");
-        let out = World::new(&cfg, 0).run();
+    for (&m, outcome) in fleet_sizes.iter().zip(&outcomes) {
+        let out = match outcome {
+            Ok(out) => out,
+            Err(panic) => {
+                eprintln!("m={m} failed: {}", panic.message);
+                continue;
+            }
+        };
         let cost = out.report.recharging_cost_m_per_sensor;
         table.row_f64(
             &format!("{m} RVs"),
@@ -49,7 +69,6 @@ fn main() {
             3,
         );
     }
-    eprintln!();
     print!("{}", table.render());
     println!("\nexpected shape: zero RVs lose the dense-duty sensors within weeks (the paper's");
     println!("motivation); returns diminish once fleet delivery capacity exceeds network drain.");

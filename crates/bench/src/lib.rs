@@ -21,14 +21,25 @@
 //! * `--timeout-s S` / `--retries N` — supervise every run with a
 //!   wall-clock watchdog and bounded retries; a run that exhausts its
 //!   attempts lands in [`GridResult::failed_seeds`] instead of aborting
-//!   the sweep.
+//!   the sweep;
+//! * `--shards N` — run the sweep on the fault-tolerant sharded fabric
+//!   (DESIGN.md §4g): the grid is split into `N` ranges, each executed by
+//!   a supervised worker *process* with its own write-ahead journal, and
+//!   the per-shard journals are merged byte-stably. Crashed, hung or
+//!   `kill -9`'d workers are re-queued and resume; the merged CSV is
+//!   byte-identical to a single-process run's. Tune with
+//!   `--shard-inflight N` (backpressure bound on live workers),
+//!   `--shard-retries N`, `--lease-timeout-s S` (hung-worker detection)
+//!   and `--chaos-workers P` (self-chaos: randomly kill/stall workers to
+//!   exercise recovery).
 
 use std::path::PathBuf;
 use std::time::Duration;
 use wrsn_metrics::{EvalReport, Summary};
-use wrsn_sim::batch::{JobSpec, SupervisorOptions};
+use wrsn_sim::batch::{JobPanic, JobSpec, SupervisorOptions};
 use wrsn_sim::journal::Journal;
-use wrsn_sim::{batch, SimConfig};
+use wrsn_sim::shard::{run_sharded, ShardOptions};
+use wrsn_sim::{batch, SimConfig, SimOutcome};
 
 /// Options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -49,6 +60,21 @@ pub struct ExpOptions {
     pub timeout_s: Option<f64>,
     /// Extra attempts after a panic or timeout (`--retries`).
     pub retries: u32,
+    /// Shard count for the sharded sweep fabric (`--shards`; 0 = run
+    /// in-process without the fabric).
+    pub shards: usize,
+    /// Backpressure bound on concurrently live worker processes
+    /// (`--shard-inflight`; 0 = min(shards, cores)).
+    pub shard_inflight: usize,
+    /// Worker-process respawns after a shard's first attempt fails
+    /// (`--shard-retries`).
+    pub shard_retries: u32,
+    /// Hung-worker detection: lease staleness before a worker is killed
+    /// and its shard re-queued (`--lease-timeout-s`).
+    pub lease_timeout_s: f64,
+    /// Self-chaos probability: randomly SIGKILL/stall spawned workers
+    /// (`--chaos-workers`).
+    pub chaos_workers: f64,
 }
 
 impl Default for ExpOptions {
@@ -62,6 +88,11 @@ impl Default for ExpOptions {
             resume: false,
             timeout_s: None,
             retries: 1,
+            shards: 0,
+            shard_inflight: 0,
+            shard_retries: 3,
+            lease_timeout_s: 30.0,
+            chaos_workers: 0.0,
         }
     }
 }
@@ -107,10 +138,32 @@ impl ExpOptions {
                     let v = args.next().expect("--retries needs a value");
                     opts.retries = v.parse().expect("--retries must be an integer");
                 }
+                "--shards" => {
+                    let v = args.next().expect("--shards needs a value");
+                    opts.shards = v.parse().expect("--shards must be an integer");
+                }
+                "--shard-inflight" => {
+                    let v = args.next().expect("--shard-inflight needs a value");
+                    opts.shard_inflight = v.parse().expect("--shard-inflight must be an integer");
+                }
+                "--shard-retries" => {
+                    let v = args.next().expect("--shard-retries needs a value");
+                    opts.shard_retries = v.parse().expect("--shard-retries must be an integer");
+                }
+                "--lease-timeout-s" => {
+                    let v = args.next().expect("--lease-timeout-s needs a value");
+                    opts.lease_timeout_s = v.parse().expect("--lease-timeout-s must be a number");
+                }
+                "--chaos-workers" => {
+                    let v = args.next().expect("--chaos-workers needs a value");
+                    opts.chaos_workers = v.parse().expect("--chaos-workers must be a number");
+                }
                 other => {
                     panic!(
                         "unknown flag {other}; supported: --quick --days N --seeds N --out DIR \
-                         --journal DIR --resume --timeout-s S --retries N"
+                         --journal DIR --resume --timeout-s S --retries N --shards N \
+                         --shard-inflight N --shard-retries N --lease-timeout-s S \
+                         --chaos-workers P"
                     )
                 }
             }
@@ -125,6 +178,35 @@ impl ExpOptions {
             retries: self.retries,
             ..SupervisorOptions::default()
         }
+    }
+
+    /// The shard-fabric settings these options describe (meaningful when
+    /// [`ExpOptions::shards`] > 0).
+    pub fn shard_options(&self) -> ShardOptions {
+        ShardOptions {
+            shards: self.shards.max(1),
+            max_inflight: self.shard_inflight,
+            retries: self.shard_retries,
+            lease_timeout: Duration::from_secs_f64(self.lease_timeout_s.max(0.1)),
+            chaos_workers: self.chaos_workers,
+            ..ShardOptions::default()
+        }
+    }
+
+    /// The fabric directory a sharded sweep journals into: `--journal DIR`
+    /// when given, otherwise a per-binary subdirectory of the output dir
+    /// (so two fig binaries sharing `results/` never collide). Workers
+    /// re-derive the identical default because they re-exec the same
+    /// binary with the same argv.
+    pub fn shard_fabric_dir(&self) -> PathBuf {
+        if let Some(dir) = &self.journal_dir {
+            return dir.clone();
+        }
+        let exe = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "sweep".to_string());
+        self.out_dir.join(format!("shards-{exe}"))
     }
 
     /// The base configuration for this experiment scale.
@@ -201,7 +283,17 @@ pub fn run_grid_supervised(
 ) -> Vec<GridResult> {
     let jobs = grid_jobs(&grid, seeds);
     let outcomes = batch::run_supervised(&jobs, opts, journal);
+    aggregate_grid(grid, seeds, &outcomes)
+}
 
+/// Folds per-job outcomes (in [`grid_jobs`] order) back into per-point
+/// means — the shared tail of every sweep entry point, so the in-process
+/// and sharded paths produce identical tables from identical outcomes.
+fn aggregate_grid(
+    grid: Vec<GridPoint>,
+    seeds: u64,
+    outcomes: &[Result<SimOutcome, JobPanic>],
+) -> Vec<GridResult> {
     grid.into_iter()
         .zip(outcomes.chunks(seeds.max(1) as usize))
         .map(|(point, chunk)| {
@@ -234,19 +326,45 @@ pub fn run_grid_supervised(
 
 /// The figure binaries' standard sweep entry point: honors the
 /// `--journal`/`--resume`/`--timeout-s`/`--retries` flags in `opts`,
-/// creating or resuming the journal as requested.
+/// creating or resuming the journal as requested, and `--shards N`, which
+/// moves execution onto the fault-tolerant sharded fabric (worker
+/// processes with per-shard journals, lease supervision and byte-stable
+/// merge — DESIGN.md §4g).
 ///
 /// # Panics
 /// Panics when `--resume` is set against a missing or drifted journal
-/// (the journal's grid hash pins labels, seeds and configs).
+/// (the journal's grid hash pins labels, seeds and configs), or when the
+/// shard fabric cannot run (e.g. a drifted shard manifest).
 pub fn run_sweep(grid: Vec<GridPoint>, opts: &ExpOptions) -> Vec<GridResult> {
+    let jobs = grid_jobs(&grid, opts.seeds);
+    let outcomes = run_jobs(&jobs, opts);
+    aggregate_grid(grid, opts.seeds, &outcomes)
+}
+
+/// Runs pre-built labeled jobs under the options' execution regime:
+/// sharded worker processes when `--shards N` is set, otherwise the
+/// in-process supervised (and optionally journaled) batch driver. Results
+/// come back in job order either way, bit-identical across regimes, so
+/// callers' tables and CSVs never depend on how the sweep was executed.
+///
+/// In a shard *worker* process this call never returns — the worker runs
+/// its shard range, journals it, and exits before any caller code after
+/// `run_jobs` (table rendering, CSV writing) executes.
+///
+/// # Panics
+/// Panics on journal/fabric errors, as [`run_sweep`] does.
+pub fn run_jobs(jobs: &[JobSpec], opts: &ExpOptions) -> Vec<Result<SimOutcome, JobPanic>> {
     let sup = opts.supervisor_options();
+    if opts.shards > 0 {
+        let dir = opts.shard_fabric_dir();
+        return run_sharded(jobs, &sup, &dir, &opts.shard_options(), opts.resume)
+            .unwrap_or_else(|e| panic!("sharded sweep in {}: {e}", dir.display()));
+    }
     let journal = opts.journal_dir.as_ref().map(|dir| {
-        let jobs = grid_jobs(&grid, opts.seeds);
         let journal = if opts.resume {
-            Journal::resume(dir, &jobs)
+            Journal::resume(dir, jobs)
         } else {
-            Journal::create(dir, &jobs)
+            Journal::create(dir, jobs)
         }
         .unwrap_or_else(|e| panic!("cannot open run journal in {}: {e}", dir.display()));
         if opts.resume {
@@ -259,7 +377,7 @@ pub fn run_sweep(grid: Vec<GridPoint>, opts: &ExpOptions) -> Vec<GridResult> {
         }
         journal
     });
-    run_grid_supervised(grid, opts.seeds, &sup, journal.as_ref())
+    batch::run_supervised(jobs, &sup, journal.as_ref())
 }
 
 fn mean_report(rs: &[EvalReport]) -> EvalReport {

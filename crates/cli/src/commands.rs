@@ -18,6 +18,8 @@ USAGE:
   wrsn watch    [same flags as run] [--frames N] [--width COLS] [--fps N]
   wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
                 [--journal DIR] [--resume] [--timeout-s S] [--retries N]
+                [--shards N] [--shard-inflight N] [--shard-retries N]
+                [--lease-timeout-s S] [--chaos-workers P]
                 [--csv FILE] [fault flags]
   wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
   wrsn analyze  [--sensors N] [--targets N] [--rvs N] [--utilization F]
@@ -206,9 +208,20 @@ pub fn watch(args: &Args) -> Result<(), String> {
 /// an uninterrupted sweep's. `--timeout-s` puts a wall-clock watchdog on
 /// each run and `--retries` bounds how often a panicked or timed-out run
 /// is retried before it is reported as failed.
+///
+/// With `--shards N` the sweep runs on the fault-tolerant sharded fabric
+/// (DESIGN.md §4g): the grid is split into N contiguous shard ranges, each
+/// executed by a supervised worker *process* journaling into
+/// `DIR/shard-NNNN`. Crashed or hung workers are detected by lease
+/// heartbeats, re-queued with capped exponential backoff, and resumed from
+/// their shard journal; the merged result — and therefore the table and
+/// `--csv` file — is byte-identical to a single-process run.
+/// `--chaos-workers P` self-injects worker kills/stalls to exercise that
+/// recovery path.
 pub fn sweep(args: &Args) -> Result<(), String> {
     use wrsn_sim::batch::{run_supervised, JobSpec, SupervisorOptions};
     use wrsn_sim::journal::Journal;
+    use wrsn_sim::shard::{run_sharded, ShardOptions};
 
     let base = config_from(args)?;
     let seed: u64 = args.num("seed", 0)?;
@@ -218,6 +231,7 @@ pub fn sweep(args: &Args) -> Result<(), String> {
     }
     let timeout_s: f64 = args.num("timeout-s", 0.0)?;
     let retries: u32 = args.num("retries", 1)?;
+    let shards: usize = args.num("shards", 0usize)?;
     let opts = SupervisorOptions {
         timeout: (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s)),
         retries,
@@ -243,33 +257,50 @@ pub fn sweep(args: &Args) -> Result<(), String> {
         })
         .collect();
 
-    let journal = match args.opt("journal") {
-        Some(dir) => Some(
-            if args.is_set("resume") {
-                Journal::resume(dir, &jobs).inspect(|j| {
-                    eprintln!(
-                        "resuming from {}: {} of {} runs already complete",
-                        j.path().display(),
-                        j.completed_count(),
-                        jobs.len()
-                    );
-                })
-            } else {
-                Journal::create(dir, &jobs)
-            }
-            .map_err(|e| format!("run journal in {dir}: {e}"))?,
-        ),
-        None => {
-            if args.is_set("resume") {
-                return Err("--resume needs --journal DIR".into());
-            }
-            None
-        }
-    };
-
     // Crash-isolated: one bad point reports its panic and the rest of the
     // sweep still completes and prints.
-    let outcomes = run_supervised(&jobs, &opts, journal.as_ref());
+    let outcomes = if shards > 0 {
+        let dir = args
+            .opt("journal")
+            .ok_or("--shards needs --journal DIR (the fabric's shard/journal directory)")?;
+        let shard_opts = ShardOptions {
+            shards,
+            max_inflight: args.num("shard-inflight", 0usize)?,
+            retries: args.num("shard-retries", 3u32)?,
+            lease_timeout: std::time::Duration::from_secs_f64(
+                args.num("lease-timeout-s", 30.0f64)?.max(0.1),
+            ),
+            chaos_workers: args.num("chaos-workers", 0.0f64)?,
+            ..ShardOptions::default()
+        };
+        run_sharded(&jobs, &opts, dir, &shard_opts, args.is_set("resume"))
+            .map_err(|e| format!("sharded sweep in {dir}: {e}"))?
+    } else {
+        let journal = match args.opt("journal") {
+            Some(dir) => Some(
+                if args.is_set("resume") {
+                    Journal::resume(dir, &jobs).inspect(|j| {
+                        eprintln!(
+                            "resuming from {}: {} of {} runs already complete",
+                            j.path().display(),
+                            j.completed_count(),
+                            jobs.len()
+                        );
+                    })
+                } else {
+                    Journal::create(dir, &jobs)
+                }
+                .map_err(|e| format!("run journal in {dir}: {e}"))?,
+            ),
+            None => {
+                if args.is_set("resume") {
+                    return Err("--resume needs --journal DIR".into());
+                }
+                None
+            }
+        };
+        run_supervised(&jobs, &opts, journal.as_ref())
+    };
 
     let mut table = Table::new(
         &format!(

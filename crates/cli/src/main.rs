@@ -6,7 +6,7 @@
 //!               [--failures RATE] [--trace FILE]
 //! wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
 //!               [--journal DIR] [--resume] [--timeout-s S] [--retries N]
-//!               [--csv FILE]
+//!               [--shards N] [--chaos-workers P] [--csv FILE]
 //! wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
 //! wrsn schedulers
 //! ```

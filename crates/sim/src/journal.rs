@@ -60,6 +60,16 @@ pub enum JournalError {
         /// Jobs recorded in the journal.
         found: usize,
     },
+    /// The journal records two `done` outcomes for the same job index with
+    /// *different* bit patterns. Duplicate records with identical outcomes
+    /// are legal (a shard retried after a crash can legitimately re-derive
+    /// the same deterministic result) and resolve first-writer-wins;
+    /// conflicting outcomes mean the journal mixes two different sweeps
+    /// and must not be merged.
+    ConflictingDone {
+        /// The job index with conflicting outcomes.
+        job: usize,
+    },
     /// The journal has no parseable meta header.
     Corrupt(String),
 }
@@ -77,6 +87,12 @@ impl std::fmt::Display for JournalError {
             JournalError::JobCountMismatch { expected, found } => write!(
                 f,
                 "journal records {found} jobs but the sweep being resumed has {expected}"
+            ),
+            JournalError::ConflictingDone { job } => write!(
+                f,
+                "journal records two conflicting `done` outcomes for job {job}; duplicate \
+                 records are only legal when bit-identical (first-writer-wins) — this journal \
+                 mixes results from different sweeps and cannot be trusted"
             ),
             JournalError::Corrupt(why) => write!(f, "corrupt journal: {why}"),
         }
@@ -154,59 +170,32 @@ impl Journal {
     /// validates the meta header (job count + grid hash — a drifted config
     /// is refused), restores every `done` outcome bit-identically, and
     /// re-queues everything else. Unparseable lines (e.g. a torn trailing
-    /// line from a crash) are skipped — their jobs simply rerun.
+    /// line from a crash) are skipped — their jobs simply rerun. Duplicate
+    /// `done` records for the same job (possible after a retried shard)
+    /// resolve first-writer-wins when bit-identical and are refused with
+    /// [`JournalError::ConflictingDone`] otherwise.
     pub fn resume(dir: impl AsRef<Path>, jobs: &[JobSpec]) -> Result<Self, JournalError> {
         let path = dir.as_ref().join(JOURNAL_FILE);
         let text = std::fs::read_to_string(&path)?;
-        let mut lines = text.lines();
-        let meta = lines
-            .next()
-            .ok_or_else(|| JournalError::Corrupt("empty journal".into()))?;
-        if field_str(meta, "kind").as_deref() != Some("meta") {
-            return Err(JournalError::Corrupt(
-                "first line is not a meta record".into(),
-            ));
-        }
-        match field_u64(meta, "version") {
-            Some(v) if v == JOURNAL_VERSION as u64 => {}
-            v => {
-                return Err(JournalError::Corrupt(format!(
-                    "unsupported journal version {v:?} (this build reads {JOURNAL_VERSION})"
-                )))
-            }
-        }
-        let found_jobs = field_u64(meta, "jobs")
-            .ok_or_else(|| JournalError::Corrupt("meta record lacks a job count".into()))?
-            as usize;
-        if found_jobs != jobs.len() {
+        let replay = replay_text(&text)?;
+        if replay.jobs != jobs.len() {
             return Err(JournalError::JobCountMismatch {
                 expected: jobs.len(),
-                found: found_jobs,
+                found: replay.jobs,
             });
         }
         let expected = grid_hash(jobs);
-        let found = field_u64(meta, "grid_hash")
-            .ok_or_else(|| JournalError::Corrupt("meta record lacks a grid hash".into()))?;
-        if found != expected {
-            return Err(JournalError::ConfigDrift { expected, found });
+        if replay.grid_hash != expected {
+            return Err(JournalError::ConfigDrift {
+                expected,
+                found: replay.grid_hash,
+            });
         }
-
-        let mut completed = HashMap::new();
-        for line in lines {
-            if field_str(line, "kind").as_deref() != Some("done") {
-                continue;
-            }
-            let (Some(job), Some(outcome)) = (
-                field_u64(line, "job").map(|j| j as usize),
-                decode_outcome(line),
-            ) else {
-                // Torn or corrupt record: treat the job as in-flight.
-                continue;
-            };
-            if job < jobs.len() {
-                completed.insert(job, outcome);
-            }
-        }
+        let completed = replay
+            .done
+            .into_iter()
+            .filter(|(job, _)| *job < jobs.len())
+            .collect();
 
         let file = OpenOptions::new().append(true).open(&path)?;
         let journal = Self {
@@ -288,6 +277,96 @@ impl Journal {
             json_escape(message)
         ));
     }
+}
+
+// --- Replay (shared by resume and the shard-fabric merge) -----------------
+
+/// A journal file's replayed terminal state: the meta header plus every
+/// job's last `done` outcome and `give_up` message. Used by
+/// [`Journal::resume`] and by the shard fabric's merge
+/// ([`crate::shard::run_sharded`]), which must reconstruct both completed
+/// outcomes *and* given-up failures from per-shard journals.
+#[derive(Debug, Default)]
+pub(crate) struct Replay {
+    /// Job count from the meta header.
+    pub(crate) jobs: usize,
+    /// Grid hash from the meta header.
+    pub(crate) grid_hash: u64,
+    /// First `done` outcome per job index (duplicates must be
+    /// bit-identical).
+    pub(crate) done: HashMap<usize, SimOutcome>,
+    /// Last `give_up` message per job index. Only meaningful for jobs with
+    /// no `done` record — a later retry may have succeeded.
+    pub(crate) gave_up: HashMap<usize, String>,
+}
+
+/// Replays one journal file's text. Validates the meta header (presence
+/// and version — *not* the job list, which the caller checks against its
+/// own expectations), tolerates torn/corrupt non-meta lines by skipping
+/// them, applies first-writer-wins to duplicate `done` records, and
+/// refuses conflicting duplicates with [`JournalError::ConflictingDone`].
+pub(crate) fn replay_text(text: &str) -> Result<Replay, JournalError> {
+    let mut lines = text.lines();
+    let meta = lines
+        .next()
+        .ok_or_else(|| JournalError::Corrupt("empty journal".into()))?;
+    if field_str(meta, "kind").as_deref() != Some("meta") {
+        return Err(JournalError::Corrupt(
+            "first line is not a meta record".into(),
+        ));
+    }
+    match field_u64(meta, "version") {
+        Some(v) if v == JOURNAL_VERSION as u64 => {}
+        v => {
+            return Err(JournalError::Corrupt(format!(
+                "unsupported journal version {v:?} (this build reads {JOURNAL_VERSION})"
+            )))
+        }
+    }
+    let mut replay = Replay {
+        jobs: field_u64(meta, "jobs")
+            .ok_or_else(|| JournalError::Corrupt("meta record lacks a job count".into()))?
+            as usize,
+        grid_hash: field_u64(meta, "grid_hash")
+            .ok_or_else(|| JournalError::Corrupt("meta record lacks a grid hash".into()))?,
+        ..Replay::default()
+    };
+    for line in lines {
+        match field_str(line, "kind").as_deref() {
+            Some("done") => {
+                let (Some(job), Some(outcome)) = (
+                    field_u64(line, "job").map(|j| j as usize),
+                    decode_outcome(line),
+                ) else {
+                    // Torn or corrupt record: treat the job as in-flight.
+                    continue;
+                };
+                match replay.done.entry(job) {
+                    std::collections::hash_map::Entry::Occupied(first) => {
+                        // First-writer-wins, but only for bit-identical
+                        // outcomes — anything else is corruption.
+                        if encode_outcome(first.get()) != encode_outcome(&outcome) {
+                            return Err(JournalError::ConflictingDone { job });
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(outcome);
+                    }
+                }
+            }
+            Some("give_up") => {
+                let (Some(job), Some(message)) = (
+                    field_u64(line, "job").map(|j| j as usize),
+                    field_str(line, "message"),
+                ) else {
+                    continue;
+                };
+                replay.gave_up.insert(job, message);
+            }
+            _ => continue,
+        }
+    }
+    Ok(replay)
 }
 
 // --- Outcome codec (f64s as u64 bit patterns) ----------------------------
@@ -386,7 +465,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Extracts an unsigned integer field from one of our own JSON lines.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
     let rest = after_key(line, key)?;
     let end = rest
         .find(|c: char| !c.is_ascii_digit())
@@ -395,7 +474,7 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Extracts a string field (unescaping the writer's escapes).
-fn field_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
     let rest = after_key(line, key)?;
     let rest = rest.strip_prefix('"')?;
     let mut out = String::new();
@@ -548,6 +627,69 @@ mod tests {
         let fewer = specs(&cfg, 1);
         let err = Journal::resume(&dir, &fewer).unwrap_err();
         assert!(matches!(err, JournalError::JobCountMismatch { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_identical_done_records_resolve_first_writer_wins() {
+        let dir = tmp_dir("dup-done");
+        let cfg = tiny_cfg();
+        let jobs = specs(&cfg, 2);
+        {
+            let journal = Journal::create(&dir, &jobs).expect("create");
+            let out = crate::World::new(&cfg, 0).run();
+            // A retried shard can legitimately re-derive and re-record the
+            // same deterministic outcome.
+            journal.record_done(0, &out);
+            journal.record_done(0, &out);
+        }
+        let journal = Journal::resume(&dir, &jobs).expect("identical duplicates are legal");
+        assert_eq!(journal.completed_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conflicting_done_records_are_refused() {
+        let dir = tmp_dir("conflict-done");
+        let cfg = tiny_cfg();
+        let jobs = specs(&cfg, 2);
+        {
+            let journal = Journal::create(&dir, &jobs).expect("create");
+            let out = crate::World::new(&cfg, 0).run();
+            journal.record_done(0, &out);
+            let mut other = out.clone();
+            other.deaths += 1; // same job, different outcome: corruption
+            journal.record_done(0, &other);
+        }
+        let err = Journal::resume(&dir, &jobs).unwrap_err();
+        assert!(
+            matches!(err, JournalError::ConflictingDone { job: 0 }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("conflicting"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_collects_give_up_messages_until_a_done_supersedes() {
+        let dir = tmp_dir("giveup-replay");
+        let cfg = tiny_cfg();
+        let jobs = specs(&cfg, 2);
+        let out = crate::World::new(&cfg, 0).run();
+        {
+            let journal = Journal::create(&dir, &jobs).expect("create");
+            journal.record_give_up(0, "timed out after 1 s of wall clock (2 attempts)");
+            journal.record_give_up(1, "panicked: boom (2 attempts)");
+            journal.record_done(1, &out); // a later shard retry succeeded
+        }
+        let text = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        let replay = replay_text(&text).expect("replay");
+        assert_eq!(replay.jobs, 2);
+        assert!(replay.done.contains_key(&1));
+        assert_eq!(
+            replay.gave_up.get(&0).map(String::as_str),
+            Some("timed out after 1 s of wall clock (2 attempts)")
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -38,6 +38,7 @@ pub mod journal;
 pub mod render;
 mod request;
 mod rv_agent;
+pub mod shard;
 pub mod snapshot;
 mod trace;
 mod world;
