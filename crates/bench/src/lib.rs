@@ -31,7 +31,11 @@
 //!   `--shard-inflight N` (backpressure bound on live workers),
 //!   `--shard-retries N`, `--lease-timeout-s S` (hung-worker detection)
 //!   and `--chaos-workers P` (self-chaos: randomly kill/stall workers to
-//!   exercise recovery).
+//!   exercise recovery);
+//! * `--store DIR` / `--store-snap-every N` — record every run into the
+//!   event-sourced run store under `DIR` (per-job directories keyed by
+//!   the journal's grid hash), so any historical tick can later be
+//!   re-materialized with `wrsn replay` and mined with `wrsn query`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -75,6 +79,13 @@ pub struct ExpOptions {
     /// Self-chaos probability: randomly SIGKILL/stall spawned workers
     /// (`--chaos-workers`).
     pub chaos_workers: f64,
+    /// Root directory for the event-sourced run store (`--store DIR`):
+    /// every executed run is recorded for time-travel replay and cross-run
+    /// queries (`wrsn replay` / `wrsn query`). `None` disables recording.
+    pub store_dir: Option<PathBuf>,
+    /// Snapshot-chain interval in ticks for recorded runs
+    /// (`--store-snap-every N`).
+    pub store_snap_every: u64,
 }
 
 impl Default for ExpOptions {
@@ -93,6 +104,8 @@ impl Default for ExpOptions {
             shard_retries: 3,
             lease_timeout_s: 30.0,
             chaos_workers: 0.0,
+            store_dir: None,
+            store_snap_every: wrsn_sim::store::RecordOptions::default().snap_every,
         }
     }
 }
@@ -158,12 +171,22 @@ impl ExpOptions {
                     let v = args.next().expect("--chaos-workers needs a value");
                     opts.chaos_workers = v.parse().expect("--chaos-workers must be a number");
                 }
+                "--store" => {
+                    opts.store_dir = Some(PathBuf::from(
+                        args.next().expect("--store needs a directory"),
+                    ));
+                }
+                "--store-snap-every" => {
+                    let v = args.next().expect("--store-snap-every needs a value");
+                    opts.store_snap_every =
+                        v.parse().expect("--store-snap-every must be an integer");
+                }
                 other => {
                     panic!(
                         "unknown flag {other}; supported: --quick --days N --seeds N --out DIR \
                          --journal DIR --resume --timeout-s S --retries N --shards N \
                          --shard-inflight N --shard-retries N --lease-timeout-s S \
-                         --chaos-workers P"
+                         --chaos-workers P --store DIR --store-snap-every N"
                     )
                 }
             }
@@ -171,11 +194,17 @@ impl ExpOptions {
         opts
     }
 
-    /// The supervision settings these options describe.
+    /// The supervision settings these options describe (including run
+    /// recording when `--store DIR` is set).
     pub fn supervisor_options(&self) -> SupervisorOptions {
         SupervisorOptions {
             timeout: self.timeout_s.map(Duration::from_secs_f64),
             retries: self.retries,
+            store: self.store_dir.as_ref().map(|root| {
+                let mut sc = wrsn_sim::store::StoreConfig::new(root.clone());
+                sc.snap_every = self.store_snap_every.max(1);
+                sc
+            }),
             ..SupervisorOptions::default()
         }
     }

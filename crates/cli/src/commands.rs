@@ -15,12 +15,18 @@ USAGE:
   wrsn run      [--days N] [--sensors N] [--targets N] [--rvs N] [--field M]
                 [--scheduler NAME] [--erp K] [--no-rr] [--seed S]
                 [--failures RATE] [--trace FILE] [fault flags]
+                [--record DIR] [--snap-every N]
   wrsn watch    [same flags as run] [--frames N] [--width COLS] [--fps N]
   wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
                 [--journal DIR] [--resume] [--timeout-s S] [--retries N]
                 [--shards N] [--shard-inflight N] [--shard-retries N]
                 [--lease-timeout-s S] [--chaos-workers P]
+                [--store DIR] [--store-snap-every N]
                 [--csv FILE] [fault flags]
+  wrsn replay   --run DIR [--tick N] [--out FILE] [--from-zero] [--verify]
+                [--info]
+  wrsn query    --store DIR [--list] [--coverage-below X] [--alive-below N]
+                [--event KIND] [--within NEEDLE:ANCHOR:K] [--limit N]
   wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
   wrsn analyze  [--sensors N] [--targets N] [--rvs N] [--utilization F]
   wrsn schedulers
@@ -105,6 +111,10 @@ fn parse_range(flag: &str, s: &str) -> Result<(f64, f64), String> {
 }
 
 /// `wrsn run` — one simulation, report to stdout, optional trace CSV.
+/// With `--record DIR` the run is journaled into an event-sourced run
+/// store (`--snap-every N` tunes the snapshot-chain interval): any
+/// historical tick can then be re-materialized with `wrsn replay` and the
+/// history mined with `wrsn query`.
 pub fn run(args: &Args) -> Result<(), String> {
     let cfg = config_from(args)?;
     let seed: u64 = args.num("seed", 0)?;
@@ -117,12 +127,28 @@ pub fn run(args: &Args) -> Result<(), String> {
         cfg.duration_days,
         cfg.scheduler
     );
-    let mut world = World::new(&cfg, seed);
     let trace_path = args.opt("trace").map(str::to_owned);
-    if trace_path.is_some() {
-        world.enable_trace(1_000_000);
-    }
-    let out = world.run();
+    let world = if let Some(dir) = args.opt("record") {
+        use wrsn_sim::store::{RecordOptions, RunRecorder};
+        let ropts = RecordOptions {
+            snap_every: args.num("snap-every", RecordOptions::default().snap_every)?,
+            ..RecordOptions::default()
+        };
+        let mut rec = RunRecorder::create(dir, cfg.clone(), seed, ropts)
+            .map_err(|e| format!("recording into {dir}: {e}"))?;
+        rec.run()
+            .map_err(|e| format!("recording into {dir}: {e}"))?;
+        eprintln!("recorded {} ticks into {dir}", rec.tick());
+        rec.into_world()
+    } else {
+        let mut world = World::new(&cfg, seed);
+        if trace_path.is_some() {
+            world.enable_trace(1_000_000);
+        }
+        world.run();
+        world
+    };
+    let out = world.outcome();
     let r = &out.report;
 
     println!("travel distance      : {:>12.0} m", r.travel_distance_m);
@@ -232,9 +258,18 @@ pub fn sweep(args: &Args) -> Result<(), String> {
     let timeout_s: f64 = args.num("timeout-s", 0.0)?;
     let retries: u32 = args.num("retries", 1)?;
     let shards: usize = args.num("shards", 0usize)?;
+    let store = args
+        .opt("store")
+        .map(|root| {
+            let mut sc = wrsn_sim::store::StoreConfig::new(root);
+            sc.snap_every = args.num("store-snap-every", sc.snap_every)?.max(1);
+            Ok::<_, String>(sc)
+        })
+        .transpose()?;
     let opts = SupervisorOptions {
         timeout: (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s)),
         retries,
+        store,
         ..SupervisorOptions::default()
     };
 
@@ -501,6 +536,180 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `wrsn replay` — time-travel: re-materialize any historical tick of a
+/// recorded run (nearest snapshot-chain link + deterministic replay).
+///
+/// * `--tick N` — the tick to materialize (default: the run's final tick);
+/// * `--out FILE` — write the materialized `WRSNSNAP` snapshot to `FILE`;
+/// * `--from-zero` — replay from the tick-0 link instead of the nearest
+///   one (the full-replay reference the CI smoke job compares against);
+/// * `--verify` — also run a live world from scratch to the same tick and
+///   require byte-identical snapshots (the store's determinism contract);
+/// * `--info` — print the run's recording summary and exit.
+pub fn replay(args: &Args) -> Result<(), String> {
+    use wrsn_sim::store::StoredRun;
+
+    let dir = args.opt("run").ok_or("replay needs --run DIR")?;
+    let run = StoredRun::open(dir).map_err(|e| format!("opening run {dir}: {e}"))?;
+    if run.tail().is_damaged() {
+        eprintln!(
+            "warning: {dir} has a damaged log tail ({:?}); using the valid prefix",
+            run.tail()
+        );
+    }
+    if args.is_set("info") {
+        println!("run        : {}", run.name());
+        println!("seed       : {}", run.seed());
+        println!("config hash: {:#018x}", run.config_hash());
+        println!("tick length: {} s", run.tick_s());
+        println!("last tick  : {}", run.last_tick());
+        println!(
+            "sealed     : {}",
+            run.end_tick()
+                .map_or("no".into(), |t| format!("yes (tick {t})"))
+        );
+        println!(
+            "snapshots  : {} (every {} ticks)",
+            run.snapshots().len(),
+            run.snap_every()
+        );
+        println!("events     : {}", run.events().len());
+        println!("samples    : {}", run.samples().len());
+        return Ok(());
+    }
+
+    let tick: u64 = args.num("tick", run.last_tick())?;
+    let world = if args.is_set("from-zero") {
+        run.materialize_from_zero(tick)
+    } else {
+        run.materialize(tick)
+    }
+    .map_err(|e| format!("materializing tick {tick} of {dir}: {e}"))?;
+    let snap = world.save_snapshot();
+    println!(
+        "tick {tick} of {}: t = {:.0} s, {} bytes of snapshot",
+        run.name(),
+        world.time(),
+        snap.len()
+    );
+
+    if args.is_set("verify") {
+        let mut live = World::new(world.config(), run.seed());
+        live.enable_trace(run.trace_cap() as usize);
+        for _ in 0..tick {
+            live.step();
+        }
+        if live.save_snapshot() == snap {
+            println!("verify: OK — materialized snapshot is byte-identical to a live run");
+        } else {
+            return Err(format!(
+                "verify FAILED: tick {tick} materialized from the store differs from a live run"
+            ));
+        }
+    }
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, &snap).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `wrsn query` — cross-run predicate scans over a store of recorded runs.
+///
+/// Exactly one predicate per invocation:
+/// * `--coverage-below X` — metrics samples with coverage < `X`;
+/// * `--alive-below N` — samples with fewer than `N` sensors alive;
+/// * `--event KIND` — trace events of one kind (names as in the trace
+///   CSV: dispatch, service, depleted, rv_broke, ...);
+/// * `--within NEEDLE:ANCHOR:K` — NEEDLE events with an ANCHOR event at
+///   most `K` ticks away in the same run (e.g. `rv_broke:depleted:50`);
+/// * `--list` — list the store's runs instead of scanning.
+pub fn query(args: &Args) -> Result<(), String> {
+    use wrsn_sim::store::{EventKind, Predicate, RunStore};
+
+    let root = args.opt("store").ok_or("query needs --store DIR")?;
+    let store = RunStore::open(root).map_err(|e| format!("opening store {root}: {e}"))?;
+    if store.runs().is_empty() {
+        return Err(format!("no recorded runs under {root}"));
+    }
+    if args.is_set("list") {
+        let mut table = Table::new(
+            &format!("{} — {} recorded runs", root, store.runs().len()),
+            &["run", "last tick", "events", "samples", "sealed"],
+        );
+        for run in store.runs() {
+            table.row(&[
+                run.name(),
+                run.last_tick().to_string(),
+                run.events().len().to_string(),
+                run.samples().len().to_string(),
+                if run.end_tick().is_some() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        return Ok(());
+    }
+
+    let parse_kind = |name: &str| {
+        EventKind::parse(name)
+            .ok_or_else(|| format!("unknown event kind `{name}` (names as in the trace CSV)"))
+    };
+    let mut preds = Vec::new();
+    if let Some(v) = args.opt("coverage-below") {
+        let th: f64 = v
+            .parse()
+            .map_err(|_| format!("--coverage-below: cannot parse `{v}`"))?;
+        preds.push(Predicate::CoverageBelow(th));
+    }
+    if let Some(v) = args.opt("alive-below") {
+        let th: f64 = v
+            .parse()
+            .map_err(|_| format!("--alive-below: cannot parse `{v}`"))?;
+        preds.push(Predicate::AliveBelow(th));
+    }
+    if let Some(v) = args.opt("event") {
+        preds.push(Predicate::Event(parse_kind(v)?));
+    }
+    if let Some(v) = args.opt("within") {
+        let parts: Vec<&str> = v.split(':').collect();
+        let [needle, anchor, k] = parts[..] else {
+            return Err(format!("--within expects NEEDLE:ANCHOR:K, got `{v}`"));
+        };
+        preds.push(Predicate::Within {
+            needle: parse_kind(needle)?,
+            anchor: parse_kind(anchor)?,
+            ticks: k
+                .parse()
+                .map_err(|_| format!("--within: cannot parse tick count `{k}`"))?,
+        });
+    }
+    let [pred] = preds[..] else {
+        return Err(
+            "query needs exactly one of --coverage-below, --alive-below, --event, --within \
+             (or --list)"
+                .into(),
+        );
+    };
+
+    let limit: usize = args.num("limit", usize::MAX)?;
+    let hits = store.select(&pred, limit);
+    for h in &hits {
+        println!("{}\ttick {}\tt={:.0}s\t{}", h.run, h.tick, h.time_s, h.what);
+    }
+    println!(
+        "{} hit{} across {} runs",
+        hits.len(),
+        if hits.len() == 1 { "" } else { "s" },
+        store.runs().len()
+    );
+    Ok(())
+}
+
 /// `wrsn schedulers` — list the available scheduling policies.
 pub fn schedulers() -> Result<(), String> {
     println!("available schedulers (--scheduler NAME):");
@@ -616,6 +825,55 @@ mod tests {
         let a = args("sweep --resume");
         let err = sweep(&a).unwrap_err();
         assert!(err.contains("--journal"), "{err}");
+    }
+
+    #[test]
+    fn record_replay_query_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wrsn-cli-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let run_dir = dir.join("run0");
+        // Record a tiny chaos run (faults guarantee some trace events).
+        run(&args(&format!(
+            "run --sensors 40 --targets 2 --rvs 1 --field 50 --days 0.2 --seed 3 \
+             --fault-rv-breakdowns 6 --fault-transients 4 \
+             --record {} --snap-every 50",
+            run_dir.display()
+        )))
+        .unwrap();
+        // Info, nearest-snapshot replay with in-CLI live verification, and
+        // a from-zero replay writing a snapshot file.
+        replay(&args(&format!("replay --run {} --info", run_dir.display()))).unwrap();
+        let snap = dir.join("mid.snap");
+        replay(&args(&format!(
+            "replay --run {} --tick 120 --verify --out {}",
+            run_dir.display(),
+            snap.display()
+        )))
+        .unwrap();
+        let zero = dir.join("mid-zero.snap");
+        replay(&args(&format!(
+            "replay --run {} --tick 120 --from-zero --out {}",
+            run_dir.display(),
+            zero.display()
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&snap).unwrap(),
+            std::fs::read(&zero).unwrap(),
+            "nearest-snapshot and from-zero materialization must agree"
+        );
+        // Queries: list, sample predicate, event predicate, within-join.
+        let store = format!("query --store {}", dir.display());
+        query(&args(&format!("{store} --list"))).unwrap();
+        query(&args(&format!("{store} --coverage-below 1.01"))).unwrap();
+        query(&args(&format!("{store} --event rv_broke --limit 5"))).unwrap();
+        query(&args(&format!("{store} --within rv_broke:dispatch:100"))).unwrap();
+        // Malformed predicates are rejected with a message, not a panic.
+        assert!(query(&args(&store)).is_err());
+        assert!(query(&args(&format!("{store} --event nope"))).is_err());
+        assert!(query(&args(&format!("{store} --within a:b"))).is_err());
+        assert!(replay(&args("replay --run /nonexistent")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

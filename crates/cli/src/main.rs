@@ -3,10 +3,13 @@
 //! ```text
 //! wrsn run      [--days N] [--sensors N] [--targets N] [--rvs N] [--field M]
 //!               [--scheduler NAME] [--erp K] [--no-rr] [--seed S]
-//!               [--failures RATE] [--trace FILE]
+//!               [--failures RATE] [--trace FILE] [--record DIR]
 //! wrsn sweep    [--scheduler NAME] [--days N] [--seed S] [--points N]
 //!               [--journal DIR] [--resume] [--timeout-s S] [--retries N]
-//!               [--shards N] [--chaos-workers P] [--csv FILE]
+//!               [--shards N] [--chaos-workers P] [--store DIR] [--csv FILE]
+//! wrsn replay   --run DIR [--tick N] [--out FILE] [--from-zero] [--verify]
+//! wrsn query    --store DIR [--coverage-below X] [--event KIND]
+//!               [--within NEEDLE:ANCHOR:K] [--list]
 //! wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
 //! wrsn schedulers
 //! ```
@@ -29,6 +32,8 @@ fn main() {
         Some("run") => commands::run(&parsed),
         Some("watch") => commands::watch(&parsed),
         Some("sweep") => commands::sweep(&parsed),
+        Some("replay") => commands::replay(&parsed),
+        Some("query") => commands::query(&parsed),
         Some("inspect") => commands::inspect(&parsed),
         Some("analyze") => commands::analyze(&parsed),
         Some("schedulers") => commands::schedulers(),

@@ -259,6 +259,11 @@ pub struct SupervisorOptions {
     pub sim_time_cap_s: Option<f64>,
     /// Worker-thread override (default: [`default_workers`]).
     pub workers: Option<NonZeroUsize>,
+    /// When set, every executed job is recorded into an event-sourced run
+    /// store beneath `store.root`, in a per-job directory keyed by the
+    /// journal's grid hash: `grid-<hash>/job-<index>-<label>/`. Jobs the
+    /// journal skips as already completed are not re-recorded.
+    pub store: Option<crate::store::StoreConfig>,
 }
 
 impl Default for SupervisorOptions {
@@ -269,6 +274,7 @@ impl Default for SupervisorOptions {
             retry_backoff: Duration::from_millis(50),
             sim_time_cap_s: None,
             workers: None,
+            store: None,
         }
     }
 }
@@ -299,14 +305,49 @@ fn run_one_cancellable(
     Some(w.outcome())
 }
 
+/// The per-job recording target: the run directory plus recorder knobs.
+type StoreTarget = (std::path::PathBuf, crate::store::RecordOptions);
+
+/// Cancellable *recorded* run loop: like [`run_one_cancellable`] but every
+/// tick is journaled into the job's run-store directory. Store I/O errors
+/// panic, so the supervisor's `catch_unwind` turns them into a labeled
+/// [`JobPanic`] like any other job failure. A cancelled (timed-out)
+/// recording leaves its partial log on disk — `RunRecorder::resume` can
+/// pick it up from the last snapshot link.
+fn run_one_recorded(
+    cfg: &SimConfig,
+    seed: u64,
+    sim_time_cap_s: Option<f64>,
+    cancel: Option<&AtomicBool>,
+    target: &StoreTarget,
+) -> Option<SimOutcome> {
+    let (dir, ropts) = target;
+    let mut rec = crate::store::RunRecorder::create(dir, cfg.clone(), seed, ropts.clone())
+        .unwrap_or_else(|e| panic!("run store at {}: {e}", dir.display()));
+    while !rec.finished() && sim_time_cap_s.is_none_or(|cap| rec.world().time() < cap) {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return None;
+        }
+        rec.step()
+            .unwrap_or_else(|e| panic!("run store at {}: {e}", dir.display()));
+    }
+    rec.seal()
+        .unwrap_or_else(|e| panic!("run store at {}: {e}", dir.display()));
+    Some(rec.world().outcome())
+}
+
 /// Runs one attempt, with a watchdog when a timeout is configured: the job
 /// runs on its own thread, the supervisor waits on a channel with
 /// [`mpsc::Receiver::recv_timeout`], and on expiry sets the cancel token
 /// and joins the worker (which exits at its next tick check).
-fn run_attempt(spec: &JobSpec, opts: &SupervisorOptions) -> Attempt {
+fn run_attempt(spec: &JobSpec, opts: &SupervisorOptions, store: Option<&StoreTarget>) -> Attempt {
     let Some(budget) = opts.timeout else {
-        return match catch_unwind(AssertUnwindSafe(|| {
-            run_one(&spec.config, spec.seed, opts.sim_time_cap_s)
+        return match catch_unwind(AssertUnwindSafe(|| match store {
+            None => run_one(&spec.config, spec.seed, opts.sim_time_cap_s),
+            Some(target) => {
+                run_one_recorded(&spec.config, spec.seed, opts.sim_time_cap_s, None, target)
+                    .expect("uncancellable recording always finishes")
+            }
         })) {
             Ok(out) => Attempt::Done(out),
             Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
@@ -319,9 +360,11 @@ fn run_attempt(spec: &JobSpec, opts: &SupervisorOptions) -> Attempt {
         let seed = spec.seed;
         let cap = opts.sim_time_cap_s;
         let cancel = Arc::clone(&cancel);
+        let store = store.cloned();
         std::thread::spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                run_one_cancellable(&cfg, seed, cap, &cancel)
+            let result = catch_unwind(AssertUnwindSafe(|| match &store {
+                None => run_one_cancellable(&cfg, seed, cap, &cancel),
+                Some(target) => run_one_recorded(&cfg, seed, cap, Some(&cancel), target),
             }));
             let _ = tx.send(result);
         })
@@ -350,6 +393,7 @@ fn supervise_one(
     spec: &JobSpec,
     opts: &SupervisorOptions,
     journal: Option<&crate::journal::Journal>,
+    store: Option<&StoreTarget>,
 ) -> Result<SimOutcome, JobPanic> {
     if let Some(j) = journal {
         if let Some(done) = j.completed(index) {
@@ -365,7 +409,7 @@ fn supervise_one(
         if let Some(j) = journal {
             j.record_start(index, spec, attempt_no);
         }
-        match run_attempt(spec, opts) {
+        match run_attempt(spec, opts, store) {
             Attempt::Done(out) => {
                 if let Some(j) = journal {
                     j.record_done(index, &out);
@@ -415,9 +459,43 @@ pub fn run_supervised(
     journal: Option<&crate::journal::Journal>,
 ) -> Vec<Result<SimOutcome, JobPanic>> {
     let workers = opts.workers.unwrap_or_else(|| default_workers(jobs.len()));
+    let targets = opts.store.as_ref().map(|sc| store_targets(sc, jobs));
     par_map(jobs.len(), workers, |i| {
-        supervise_one(i, &jobs[i], opts, journal)
+        supervise_one(i, &jobs[i], opts, journal, targets.as_ref().map(|t| &t[i]))
     })
+}
+
+/// Per-job run-store directories for a sweep: keyed by the journal's grid
+/// hash so re-running the same grid lands in (and overwrites) the same
+/// tree, while any grid change gets a fresh one. Labels are unique within
+/// a grid, so `job-<index>-<label>` never collides.
+fn store_targets(sc: &crate::store::StoreConfig, jobs: &[JobSpec]) -> Vec<StoreTarget> {
+    let grid = crate::journal::grid_hash(jobs);
+    let base = sc.root.join(format!("grid-{grid:016x}"));
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let dir = base.join(format!("job-{i:04}-{}", sanitize_label(&job.label)));
+            (dir, sc.record_options(&job.label))
+        })
+        .collect()
+}
+
+/// A filesystem-safe rendering of a grid-point label (`combined/K=0.60`
+/// → `combined-K-0.60`), capped to keep paths short.
+fn sanitize_label(label: &str) -> String {
+    let mut out: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    out.truncate(60);
+    out
 }
 
 /// Builder for common batch shapes: seed grids over one or many
@@ -724,6 +802,44 @@ mod tests {
         assert_eq!(err.label, "slow/seed=0");
         assert!(err.message.contains("timed out"), "{}", err.message);
         assert!(err.message.contains("2 attempts"), "{}", err.message);
+    }
+
+    #[test]
+    fn supervised_store_records_replayable_runs() {
+        let dir = std::env::temp_dir().join(format!("wrsn-batch-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = tiny(0.05, SchedulerKind::Greedy);
+        let jobs = vec![
+            JobSpec::new("greedy/seed=0", &cfg, 0),
+            JobSpec::new("greedy/seed=1", &cfg, 1),
+        ];
+        let opts = SupervisorOptions {
+            store: Some(crate::store::StoreConfig {
+                root: dir.clone(),
+                snap_every: 17,
+                trace_cap: 4096,
+            }),
+            ..SupervisorOptions::default()
+        };
+        let recorded = run_supervised(&jobs, &opts, None);
+        // Recording is an observer: outcomes match an unrecorded sweep.
+        let plain = run_supervised(&jobs, &SupervisorOptions::default(), None);
+        for (r, p) in recorded.iter().zip(&plain) {
+            assert_eq!(
+                r.as_ref().unwrap().report,
+                p.as_ref().unwrap().report,
+                "recording must not change the run"
+            );
+        }
+        // Both runs landed in the grid-hashed tree, sealed and replayable.
+        let store = crate::store::RunStore::open(&dir).expect("open store");
+        assert_eq!(store.runs().len(), 2);
+        let run = store.run("greedy/seed=1").expect("labeled run");
+        let end = run.end_tick().expect("sealed");
+        assert!(end > 0);
+        let world = run.materialize(end / 2).expect("materialize");
+        assert_eq!(world.time(), (end / 2) as f64 * cfg.tick_s);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod request;
 mod rv_agent;
 pub mod shard;
 pub mod snapshot;
+pub mod store;
 mod trace;
 mod world;
 

@@ -102,38 +102,38 @@ type Result<T> = std::result::Result<T, SnapshotError>;
 
 // --- Primitive encoder ---------------------------------------------------
 
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             buf: Vec::with_capacity(4096),
         }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn len(&mut self, v: usize) {
+    pub(crate) fn len(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
 
@@ -190,21 +190,21 @@ impl Enc {
 
 // --- Primitive decoder ---------------------------------------------------
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(SnapshotError::Truncated);
         }
@@ -213,22 +213,22 @@ impl<'a> Dec<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// A length prefix — additionally bounded by the remaining bytes (every
     /// element costs at least one byte), so a corrupt length can never
     /// trigger an absurd allocation.
-    fn len(&mut self) -> Result<usize> {
+    pub(crate) fn len(&mut self) -> Result<usize> {
         let v = self.u64()?;
         let v = usize::try_from(v).map_err(|_| SnapshotError::Truncated)?;
         if v > self.remaining() {
@@ -240,15 +240,15 @@ impl<'a> Dec<'a> {
     /// A plain count — a value that does *not* prefix that many encoded
     /// elements (a trace cap, a dispatch's stop count), so it may
     /// legitimately exceed the remaining bytes.
-    fn count(&mut self) -> Result<usize> {
+    pub(crate) fn count(&mut self) -> Result<usize> {
         usize::try_from(self.u64()?).map_err(|_| SnapshotError::Truncated)
     }
 
-    fn f64(&mut self) -> Result<f64> {
+    pub(crate) fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn bool(&mut self) -> Result<bool> {
+    pub(crate) fn bool(&mut self) -> Result<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -292,7 +292,7 @@ impl<'a> Dec<'a> {
         }
     }
 
-    fn finish(self) -> Result<()> {
+    pub(crate) fn finish(self) -> Result<()> {
         if self.remaining() != 0 {
             return Err(SnapshotError::Corrupt(format!(
                 "{} trailing bytes after the snapshot payload",
@@ -505,7 +505,7 @@ fn decode_config(d: &mut Dec) -> Result<SimConfig> {
 }
 
 /// FNV-1a 64-bit over `bytes`.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -535,7 +535,7 @@ pub(crate) fn fault_hash(f: &FaultConfig) -> u64 {
 
 // --- Event / aggregate codecs --------------------------------------------
 
-fn encode_trace_event(e: &mut Enc, ev: &TraceEvent) {
+pub(crate) fn encode_trace_event(e: &mut Enc, ev: &TraceEvent) {
     match *ev {
         TraceEvent::Dispatch {
             t,
@@ -609,7 +609,7 @@ fn encode_trace_event(e: &mut Enc, ev: &TraceEvent) {
     }
 }
 
-fn decode_trace_event(d: &mut Dec) -> Result<TraceEvent> {
+pub(crate) fn decode_trace_event(d: &mut Dec) -> Result<TraceEvent> {
     Ok(match d.u8()? {
         0 => TraceEvent::Dispatch {
             t: d.f64()?,

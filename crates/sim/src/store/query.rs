@@ -1,0 +1,245 @@
+//! Cross-run predicate queries over stored histories.
+//!
+//! Predicates match individual log frames — metrics samples or trace
+//! events — and the [`Predicate::Within`] join relates two event kinds in
+//! tick distance ("RV breakdown within 50 ticks of a sensor depletion").
+//! Hits carry the run's name, the tick, the simulation time and a short
+//! human-readable description, so the CLI can print them directly.
+
+use super::{StoredRun, StoredSample};
+use crate::TraceEvent;
+
+/// The kind of a trace event, for predicate matching and CLI parsing.
+/// Names mirror the trace CSV's `kind` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Route assignment (`dispatch`).
+    Dispatch,
+    /// Per-sensor charge completion (`service`).
+    Service,
+    /// Battery hit zero (`depleted`).
+    Depleted,
+    /// Depleted sensor recharged back to life (`revived`).
+    Revived,
+    /// Cluster rebuild (`clusters`).
+    Clusters,
+    /// Permanent hardware failure (`failed`).
+    Failed,
+    /// RV breakdown (`rv_broke`).
+    RvBroke,
+    /// RV repair completion (`rv_repaired`).
+    RvRepaired,
+    /// Transient outage start (`suspended`).
+    Suspended,
+    /// Transient outage end (`resumed`).
+    Resumed,
+    /// Lost release/ack exchange (`req_dropped`).
+    RequestDropped,
+}
+
+impl EventKind {
+    /// The kind of a concrete event.
+    pub fn of(event: &TraceEvent) -> Self {
+        match event {
+            TraceEvent::Dispatch { .. } => EventKind::Dispatch,
+            TraceEvent::ServiceDone { .. } => EventKind::Service,
+            TraceEvent::SensorDepleted { .. } => EventKind::Depleted,
+            TraceEvent::SensorRevived { .. } => EventKind::Revived,
+            TraceEvent::ClustersRebuilt { .. } => EventKind::Clusters,
+            TraceEvent::SensorFailed { .. } => EventKind::Failed,
+            TraceEvent::RvBroke { .. } => EventKind::RvBroke,
+            TraceEvent::RvRepaired { .. } => EventKind::RvRepaired,
+            TraceEvent::SensorSuspended { .. } => EventKind::Suspended,
+            TraceEvent::SensorResumed { .. } => EventKind::Resumed,
+            TraceEvent::RequestDropped { .. } => EventKind::RequestDropped,
+        }
+    }
+
+    /// The CLI/CSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Dispatch => "dispatch",
+            EventKind::Service => "service",
+            EventKind::Depleted => "depleted",
+            EventKind::Revived => "revived",
+            EventKind::Clusters => "clusters",
+            EventKind::Failed => "failed",
+            EventKind::RvBroke => "rv_broke",
+            EventKind::RvRepaired => "rv_repaired",
+            EventKind::Suspended => "suspended",
+            EventKind::Resumed => "resumed",
+            EventKind::RequestDropped => "req_dropped",
+        }
+    }
+
+    /// Parses a CLI/CSV name back into a kind.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "dispatch" => EventKind::Dispatch,
+            "service" => EventKind::Service,
+            "depleted" => EventKind::Depleted,
+            "revived" => EventKind::Revived,
+            "clusters" => EventKind::Clusters,
+            "failed" => EventKind::Failed,
+            "rv_broke" => EventKind::RvBroke,
+            "rv_repaired" => EventKind::RvRepaired,
+            "suspended" => EventKind::Suspended,
+            "resumed" => EventKind::Resumed,
+            "req_dropped" => EventKind::RequestDropped,
+            _ => return None,
+        })
+    }
+}
+
+/// A frame-matching predicate for [`super::RunStore::scan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Metrics samples with coverage strictly below the threshold.
+    CoverageBelow(f64),
+    /// Metrics samples with fewer than this many sensors alive.
+    AliveBelow(f64),
+    /// Trace events of one kind.
+    Event(EventKind),
+    /// `needle` events with at least one `anchor` event within `ticks`
+    /// ticks (inclusive, either direction, same run).
+    Within {
+        /// The event kind reported as hits.
+        needle: EventKind,
+        /// The event kind it must be near.
+        anchor: EventKind,
+        /// Maximum tick distance, inclusive.
+        ticks: u64,
+    },
+}
+
+/// One query hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The run's name ([`StoredRun::name`]).
+    pub run: String,
+    /// Tick of the matching frame.
+    pub tick: u64,
+    /// Simulation time (s) of the matching frame.
+    pub time_s: f64,
+    /// Short description (`coverage=0.85`, `rv_broke rv1`, ...).
+    pub what: String,
+}
+
+fn describe(event: &TraceEvent) -> String {
+    // Reuse the CSV row (`time,kind,subject,detail1,detail2`) minus the
+    // time column, commas as spaces: `dispatch rv1 3 100`.
+    let row = event.to_csv_row();
+    let rest = row.split_once(',').map(|(_, r)| r).unwrap_or(&row);
+    rest.split(',')
+        .filter(|f| !f.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn sample_hit(run: &StoredRun, s: &StoredSample, what: String) -> Hit {
+    Hit {
+        run: run.name(),
+        tick: s.tick,
+        time_s: s.t,
+        what,
+    }
+}
+
+/// Appends `run`'s hits for `pred` to `out` (tick order).
+pub(super) fn scan_run(run: &StoredRun, pred: &Predicate, out: &mut Vec<Hit>) {
+    match *pred {
+        Predicate::CoverageBelow(th) => {
+            for s in run.samples() {
+                if s.coverage < th {
+                    out.push(sample_hit(run, s, format!("coverage={:.4}", s.coverage)));
+                }
+            }
+        }
+        Predicate::AliveBelow(th) => {
+            for s in run.samples() {
+                if s.alive < th {
+                    out.push(sample_hit(run, s, format!("alive={}", s.alive)));
+                }
+            }
+        }
+        Predicate::Event(kind) => {
+            for (tick, event) in run.events() {
+                if EventKind::of(event) == kind {
+                    out.push(Hit {
+                        run: run.name(),
+                        tick: *tick,
+                        time_s: event.time(),
+                        what: describe(event),
+                    });
+                }
+            }
+        }
+        Predicate::Within {
+            needle,
+            anchor,
+            ticks,
+        } => {
+            let anchors: Vec<u64> = run
+                .events()
+                .iter()
+                .filter(|(_, e)| EventKind::of(e) == anchor)
+                .map(|(t, _)| *t)
+                .collect();
+            for (tick, event) in run.events() {
+                if EventKind::of(event) != needle {
+                    continue;
+                }
+                let near = anchors.iter().any(|a| a.abs_diff(*tick) <= ticks);
+                if near {
+                    out.push(Hit {
+                        run: run.name(),
+                        tick: *tick,
+                        time_s: event.time(),
+                        what: format!("{} (near {})", describe(event), anchor.name()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            EventKind::Dispatch,
+            EventKind::Service,
+            EventKind::Depleted,
+            EventKind::Revived,
+            EventKind::Clusters,
+            EventKind::Failed,
+            EventKind::RvBroke,
+            EventKind::RvRepaired,
+            EventKind::Suspended,
+            EventKind::Resumed,
+            EventKind::RequestDropped,
+        ] {
+            assert_eq!(EventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("no_such_kind"), None);
+    }
+
+    #[test]
+    fn describe_strips_time_and_empties() {
+        let e = TraceEvent::Dispatch {
+            t: 60.0,
+            rv: wrsn_core::RvId(1),
+            stops: 3,
+            demand_j: 100.0,
+        };
+        assert_eq!(describe(&e), "dispatch rv1 3 100");
+        let e = TraceEvent::SensorDepleted {
+            t: 60.0,
+            sensor: wrsn_core::SensorId(7),
+        };
+        assert_eq!(describe(&e), "depleted s7");
+    }
+}

@@ -201,6 +201,13 @@ impl Trace {
         self.dropped
     }
 
+    /// Total events ever recorded: the retained ones plus those evicted by
+    /// the cap. The run store's recorder uses this as a monotone cursor to
+    /// drain exactly the events each tick appended.
+    pub fn total_recorded(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
     /// The retention cap (0 for a disabled trace).
     pub fn cap(&self) -> usize {
         self.cap

@@ -160,6 +160,14 @@ impl World {
         &self.state.trace
     }
 
+    /// The live evaluation metrics (travel ledgers + the coverage /
+    /// nonfunctional / operational time series the sample phase appends
+    /// to). The run store's recorder reads the series tails here to
+    /// journal per-sample metrics without touching the engine.
+    pub fn metrics(&self) -> &wrsn_metrics::EvalMetrics {
+        &self.state.metrics
+    }
+
     /// Permanent hardware failures injected so far.
     pub fn failures(&self) -> u64 {
         self.state.failures
