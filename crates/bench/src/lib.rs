@@ -32,6 +32,13 @@
 //!   `--shard-retries N`, `--lease-timeout-s S` (hung-worker detection)
 //!   and `--chaos-workers P` (self-chaos: randomly kill/stall workers to
 //!   exercise recovery);
+//! * `--agents HOST:PORT,..` — distribute the shards over `wrsn agent`
+//!   daemons instead of local worker processes (DESIGN.md §4i); implies
+//!   one shard per agent when `--shards` is unset. Unreachable or
+//!   refusing agents degrade to local execution with a warning; links
+//!   that die mid-shard requeue and resume. `--chaos-net P` injects
+//!   deterministic network faults (torn frames, partitions, severed
+//!   agents) to exercise that path;
 //! * `--store DIR` / `--store-snap-every N` — record every run into the
 //!   event-sourced run store under `DIR` (per-job directories keyed by
 //!   the journal's grid hash), so any historical tick can later be
@@ -79,6 +86,14 @@ pub struct ExpOptions {
     /// Self-chaos probability: randomly SIGKILL/stall spawned workers
     /// (`--chaos-workers`).
     pub chaos_workers: f64,
+    /// `wrsn agent` addresses to distribute shards over
+    /// (`--agents host:port,host:port`). Empty = local worker processes.
+    /// Implies a sharded sweep: if `--shards` is unset, one shard per
+    /// agent.
+    pub agents: Vec<String>,
+    /// Network-chaos probability for agent assignments (`--chaos-net`):
+    /// torn frames, delays, one-way partitions, stalled/severed agents.
+    pub chaos_net: f64,
     /// Root directory for the event-sourced run store (`--store DIR`):
     /// every executed run is recorded for time-travel replay and cross-run
     /// queries (`wrsn replay` / `wrsn query`). `None` disables recording.
@@ -104,6 +119,8 @@ impl Default for ExpOptions {
             shard_retries: 3,
             lease_timeout_s: 30.0,
             chaos_workers: 0.0,
+            agents: Vec::new(),
+            chaos_net: 0.0,
             store_dir: None,
             store_snap_every: wrsn_sim::store::RecordOptions::default().snap_every,
         }
@@ -171,6 +188,21 @@ impl ExpOptions {
                     let v = args.next().expect("--chaos-workers needs a value");
                     opts.chaos_workers = v.parse().expect("--chaos-workers must be a number");
                 }
+                "--agents" => {
+                    let v = args
+                        .next()
+                        .expect("--agents needs host:port[,host:port...]");
+                    opts.agents = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(String::from)
+                        .collect();
+                }
+                "--chaos-net" => {
+                    let v = args.next().expect("--chaos-net needs a value");
+                    opts.chaos_net = v.parse().expect("--chaos-net must be a number");
+                }
                 "--store" => {
                     opts.store_dir = Some(PathBuf::from(
                         args.next().expect("--store needs a directory"),
@@ -186,7 +218,8 @@ impl ExpOptions {
                         "unknown flag {other}; supported: --quick --days N --seeds N --out DIR \
                          --journal DIR --resume --timeout-s S --retries N --shards N \
                          --shard-inflight N --shard-retries N --lease-timeout-s S \
-                         --chaos-workers P --store DIR --store-snap-every N"
+                         --chaos-workers P --agents HOST:PORT,.. --chaos-net P \
+                         --store DIR --store-snap-every N"
                     )
                 }
             }
@@ -213,12 +246,24 @@ impl ExpOptions {
     /// [`ExpOptions::shards`] > 0).
     pub fn shard_options(&self) -> ShardOptions {
         ShardOptions {
-            shards: self.shards.max(1),
+            shards: self.effective_shards().max(1),
             max_inflight: self.shard_inflight,
             retries: self.shard_retries,
             lease_timeout: Duration::from_secs_f64(self.lease_timeout_s.max(0.1)),
             chaos_workers: self.chaos_workers,
+            agents: self.agents.clone(),
+            chaos_net: self.chaos_net,
             ..ShardOptions::default()
+        }
+    }
+
+    /// The shard count after defaults: `--agents` without `--shards`
+    /// implies one shard per agent (0 still means "no fabric").
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 && !self.agents.is_empty() {
+            self.agents.len()
+        } else {
+            self.shards
         }
     }
 
@@ -384,7 +429,7 @@ pub fn run_sweep(grid: Vec<GridPoint>, opts: &ExpOptions) -> Vec<GridResult> {
 /// Panics on journal/fabric errors, as [`run_sweep`] does.
 pub fn run_jobs(jobs: &[JobSpec], opts: &ExpOptions) -> Vec<Result<SimOutcome, JobPanic>> {
     let sup = opts.supervisor_options();
-    if opts.shards > 0 {
+    if opts.effective_shards() > 0 {
         let dir = opts.shard_fabric_dir();
         return run_sharded(jobs, &sup, &dir, &opts.shard_options(), opts.resume)
             .unwrap_or_else(|e| panic!("sharded sweep in {}: {e}", dir.display()));

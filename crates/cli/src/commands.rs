@@ -21,8 +21,10 @@ USAGE:
                 [--journal DIR] [--resume] [--timeout-s S] [--retries N]
                 [--shards N] [--shard-inflight N] [--shard-retries N]
                 [--lease-timeout-s S] [--chaos-workers P]
+                [--agents HOST:PORT,..] [--chaos-net P]
                 [--store DIR] [--store-snap-every N]
                 [--csv FILE] [fault flags]
+  wrsn agent    --listen HOST:PORT [--work-dir DIR]
   wrsn replay   --run DIR [--tick N] [--out FILE] [--from-zero] [--verify]
                 [--info]
   wrsn query    --store DIR [--list] [--coverage-below X] [--alive-below N]
@@ -244,6 +246,15 @@ pub fn watch(args: &Args) -> Result<(), String> {
 /// `--csv` file — is byte-identical to a single-process run.
 /// `--chaos-workers P` self-injects worker kills/stalls to exercise that
 /// recovery path.
+///
+/// With `--agents HOST:PORT,..` the shards are assigned over TCP to
+/// `wrsn agent` daemons instead of local worker processes (DESIGN.md
+/// §4i); `--shards` defaults to one shard per agent. Unreachable or
+/// refusing agents degrade the affected shard to local execution with a
+/// warning; a link that dies mid-shard requeues and resumes like a local
+/// worker crash. `--chaos-net P` injects deterministic network faults
+/// (torn frames, delays, partitions, severed agents) to exercise that
+/// path — the merged CSV stays byte-identical throughout.
 pub fn sweep(args: &Args) -> Result<(), String> {
     use wrsn_sim::batch::{run_supervised, JobSpec, SupervisorOptions};
     use wrsn_sim::journal::Journal;
@@ -257,7 +268,21 @@ pub fn sweep(args: &Args) -> Result<(), String> {
     }
     let timeout_s: f64 = args.num("timeout-s", 0.0)?;
     let retries: u32 = args.num("retries", 1)?;
-    let shards: usize = args.num("shards", 0usize)?;
+    let agents: Vec<String> = args
+        .opt("agents")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut shards: usize = args.num("shards", 0usize)?;
+    if shards == 0 && !agents.is_empty() {
+        // `--agents` implies a sharded sweep: one shard per agent.
+        shards = agents.len();
+    }
     let store = args
         .opt("store")
         .map(|root| {
@@ -306,6 +331,8 @@ pub fn sweep(args: &Args) -> Result<(), String> {
                 args.num("lease-timeout-s", 30.0f64)?.max(0.1),
             ),
             chaos_workers: args.num("chaos-workers", 0.0f64)?,
+            agents,
+            chaos_net: args.num("chaos-net", 0.0f64)?,
             ..ShardOptions::default()
         };
         run_sharded(&jobs, &opts, dir, &shard_opts, args.is_set("resume"))
@@ -708,6 +735,25 @@ pub fn query(args: &Args) -> Result<(), String> {
         store.runs().len()
     );
     Ok(())
+}
+
+/// `wrsn agent` — serve shard assignments for remote sweeps (DESIGN.md
+/// §4i).
+///
+/// Binds `--listen HOST:PORT` and runs forever, accepting framed job
+/// assignments from sweep coordinators (`wrsn sweep --agents ..` or any
+/// fig binary's `--agents`), executing each shard under the ordinary
+/// supervised runner, and streaming its journal back live. Shard state
+/// lives under `--work-dir` (default: `wrsn-agent` in the system temp
+/// directory), keyed by grid hash, shard and attempt, so concurrent
+/// coordinators and retried assignments never collide.
+pub fn agent(args: &Args) -> Result<(), String> {
+    let listen = args.opt("listen").ok_or("agent needs --listen HOST:PORT")?;
+    let work_dir = args
+        .opt("work-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("wrsn-agent"));
+    wrsn_sim::fabric::serve(listen, work_dir).map_err(|e| e.to_string())
 }
 
 /// `wrsn schedulers` — list the available scheduling policies.

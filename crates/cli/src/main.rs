@@ -11,6 +11,7 @@
 //! wrsn query    --store DIR [--coverage-below X] [--event KIND]
 //!               [--within NEEDLE:ANCHOR:K] [--list]
 //! wrsn inspect  [--sensors N] [--targets N] [--field M] [--seed S]
+//! wrsn agent    --listen HOST:PORT [--work-dir DIR]
 //! wrsn schedulers
 //! ```
 
@@ -35,6 +36,7 @@ fn main() {
         Some("replay") => commands::replay(&parsed),
         Some("query") => commands::query(&parsed),
         Some("inspect") => commands::inspect(&parsed),
+        Some("agent") => commands::agent(&parsed),
         Some("analyze") => commands::analyze(&parsed),
         Some("schedulers") => commands::schedulers(),
         Some(other) => Err(format!("unknown command `{other}`")),

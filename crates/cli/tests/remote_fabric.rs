@@ -1,0 +1,284 @@
+//! End-to-end tests of the multi-machine sweep fabric through the `wrsn`
+//! binary (DESIGN.md §4i): a coordinator distributing shards over real
+//! `wrsn agent` daemons on localhost, with network chaos, a kill -9 of
+//! one agent mid-sweep, and graceful degradation when an agent is
+//! absent. All of them gate the same contract — the merged CSV is
+//! byte-identical to the uninterrupted single-process run's.
+#![cfg(unix)]
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_wrsn");
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wrsn-remote-{name}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// One live `wrsn agent` child on an OS-assigned port.
+struct Agent {
+    child: Child,
+    addr: String,
+}
+
+impl Agent {
+    /// Spawns `wrsn agent --listen 127.0.0.1:0` and reads its actual
+    /// address from the "agent listening on ..." banner, then keeps
+    /// draining the agent's stderr in the background so it never blocks
+    /// on a full pipe.
+    fn spawn(work_dir: &Path) -> Self {
+        let mut child = Command::new(BIN)
+            .args([
+                "agent",
+                "--listen",
+                "127.0.0.1:0",
+                "--work-dir",
+                work_dir.to_str().unwrap(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn wrsn agent");
+        let stderr = child.stderr.take().expect("agent stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let banner = lines
+            .next()
+            .expect("agent exited before its banner")
+            .expect("read agent banner");
+        let addr = banner
+            .strip_prefix("agent listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected agent banner: {banner}"))
+            .to_string();
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        Self { child, addr }
+    }
+}
+
+impl Drop for Agent {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs `wrsn sweep` on a small fixed grid plus `extra` flags, writing
+/// the CSV to `csv`; returns captured stderr.
+fn sweep(grid: &[&str], extra: &[&str], csv: &Path) -> String {
+    let out = Command::new(BIN)
+        .arg("sweep")
+        .args(grid)
+        .arg("--csv")
+        .arg(csv)
+        .args(extra)
+        .stdout(Stdio::null())
+        .output()
+        .expect("spawn wrsn");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "wrsn sweep failed:\n{stderr}");
+    stderr
+}
+
+/// A fast grid: 7 one-day runs, ~tens of milliseconds each.
+const QUICK: &[&str] = &[
+    "--days",
+    "1",
+    "--sensors",
+    "30",
+    "--targets",
+    "3",
+    "--points",
+    "7",
+];
+
+/// A slower grid (~1 s per point in debug builds) so there is a window
+/// to kill an agent mid-shard.
+const SLOW: &[&str] = &[
+    "--days",
+    "20",
+    "--sensors",
+    "50",
+    "--targets",
+    "3",
+    "--points",
+    "7",
+];
+
+#[test]
+fn two_agents_with_network_chaos_merge_an_identical_csv() {
+    let dir = tmp_dir("chaos");
+    let reference = dir.join("single.csv");
+    sweep(QUICK, &[], &reference);
+
+    let a = Agent::spawn(&dir.join("agent-a"));
+    let b = Agent::spawn(&dir.join("agent-b"));
+    let csv = dir.join("remote.csv");
+    let fab = dir.join("fab");
+    let stderr = sweep(
+        QUICK,
+        &[
+            "--shards",
+            "4",
+            "--agents",
+            &format!("{},{}", a.addr, b.addr),
+            "--chaos-net",
+            "0.9",
+            "--lease-timeout-s",
+            "2",
+            "--journal",
+            fab.to_str().unwrap(),
+        ],
+        &csv,
+    );
+    // The chaos plan is seeded: at p = 0.9 over 4 shards it reliably
+    // injects faults — make sure the recovery path actually ran.
+    assert!(
+        stderr.contains("chaos: shard"),
+        "expected network chaos injection in stderr:\n{stderr}"
+    );
+    assert_eq!(
+        fs::read(&csv).expect("remote CSV"),
+        fs::read(&reference).expect("reference CSV"),
+        "CSV via chaotic agents must equal the single-process run's"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killing_an_agent_mid_sweep_requeues_onto_the_survivor() {
+    let dir = tmp_dir("kill");
+    let reference = dir.join("single.csv");
+    sweep(SLOW, &[], &reference);
+
+    let a = Agent::spawn(&dir.join("agent-a"));
+    let b = Agent::spawn(&dir.join("agent-b"));
+    let fab = dir.join("fab");
+    let csv = dir.join("survivor.csv");
+    let mut coord = Command::new(BIN)
+        .arg("sweep")
+        .args(SLOW)
+        .args([
+            "--shards",
+            "4",
+            "--agents",
+            &format!("{},{}", a.addr, b.addr),
+            "--lease-timeout-s",
+            "2",
+            "--journal",
+            fab.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+
+    // Wait until shards are genuinely in flight (journals on disk), then
+    // kill -9 one agent. Its links die; the coordinator must requeue the
+    // affected shards — onto the survivor, or locally if the dead agent
+    // refuses the reconnect.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let journals = (0..4)
+            .filter(|i| {
+                fab.join(format!("shard-{i:04}"))
+                    .join("journal.jsonl")
+                    .is_file()
+            })
+            .count();
+        if journals >= 2 {
+            break;
+        }
+        if coord.try_wait().expect("poll coordinator").is_some() {
+            break; // finished before we could interfere — resume still merged
+        }
+        assert!(Instant::now() < deadline, "no shard journals after 120 s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if coord.try_wait().expect("poll coordinator").is_none() {
+        let killed = Command::new("kill")
+            .args(["-9", &b.child.id().to_string()])
+            .status()
+            .expect("run kill");
+        assert!(killed.success(), "kill -9 the agent failed");
+    }
+    let status = coord.wait().expect("reap coordinator");
+    assert!(status.success(), "coordinator must survive a dead agent");
+    assert_eq!(
+        fs::read(&csv).expect("survivor CSV"),
+        fs::read(&reference).expect("reference CSV"),
+        "CSV after an agent was kill -9'd mid-sweep must equal the clean run's"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn absent_agent_degrades_to_local_execution_with_a_warning() {
+    let dir = tmp_dir("absent");
+    let reference = dir.join("single.csv");
+    sweep(QUICK, &[], &reference);
+
+    // 127.0.0.1:9 (discard) refuses connections — every shard must fall
+    // back to the local transport and the sweep still completes.
+    let csv = dir.join("fallback.csv");
+    let fab = dir.join("fab");
+    let stderr = sweep(
+        QUICK,
+        &[
+            "--shards",
+            "2",
+            "--agents",
+            "127.0.0.1:9",
+            "--journal",
+            fab.to_str().unwrap(),
+        ],
+        &csv,
+    );
+    assert!(
+        stderr.contains("running the shard locally instead"),
+        "expected a degradation warning in stderr:\n{stderr}"
+    );
+    assert_eq!(
+        fs::read(&csv).expect("fallback CSV"),
+        fs::read(&reference).expect("reference CSV"),
+        "CSV after degrading to local execution must equal the clean run's"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn agents_without_shards_implies_one_shard_per_agent() {
+    let dir = tmp_dir("implied");
+    let reference = dir.join("single.csv");
+    sweep(QUICK, &[], &reference);
+
+    let a = Agent::spawn(&dir.join("agent-a"));
+    let b = Agent::spawn(&dir.join("agent-b"));
+    let csv = dir.join("implied.csv");
+    let fab = dir.join("fab");
+    sweep(
+        QUICK,
+        &[
+            "--agents",
+            &format!("{},{}", a.addr, b.addr),
+            "--journal",
+            fab.to_str().unwrap(),
+        ],
+        &csv,
+    );
+    // Two agents → two shard directories, no --shards flag needed.
+    assert!(fab.join("shard-0001").join("journal.jsonl").is_file());
+    assert!(!fab.join("shard-0002").exists());
+    assert_eq!(
+        fs::read(&csv).expect("implied CSV"),
+        fs::read(&reference).expect("reference CSV"),
+    );
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,933 @@
+//! The TCP agent transport (DESIGN.md §4i): a `wrsn agent` daemon that
+//! runs shard assignments shipped over a socket, and the coordinator-side
+//! launcher that supervises it through the same [`WorkerHandle`] surface
+//! as a local worker.
+//!
+//! **Agent side** ([`serve`]): accept a connection, read one framed
+//! [`wire::Assign`], validate the handshake (protocol version via the
+//! stream header, job slice via a recomputed grid hash), seed the shard's
+//! journal from the coordinator's authoritative complete-line prefix,
+//! `Accept`, then run the slice through the ordinary
+//! [`crate::batch::run_supervised`] while streaming heartbeats and every
+//! *complete* new journal line back; finish with `Done`.
+//!
+//! **Coordinator side** ([`TcpAgentPool`]): connects, assigns, appends the
+//! streamed lines to the local shard journal (which stays the single
+//! source of truth for resume and merge), and maps every network failure
+//! mode onto paths the §4g coordinator already owns:
+//!
+//! * connect refused / agent refuses → **fall back to local execution**
+//!   with a warning (an absent agent never fails the sweep);
+//! * link established but torn, corrupt, or closed mid-shard → a dead
+//!   handle → the ordinary requeue with bounded retries;
+//! * agent silent (wedged, one-way partition) → the lease counter stops
+//!   advancing → the lease watchdog reaps the shard.
+//!
+//! Because the streamed journal is byte-for-byte the journal a local
+//! worker would have written, resume seeding plus first-writer-wins
+//! replay make re-attempts safe: a job is never rerun once its `done`
+//! line reached the coordinator, and never double-counted if it didn't.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::chaos::{net_chaos_plan, NetChaos};
+use super::wire::{self, Msg, MsgReader, MsgWriter};
+use super::{LaunchSpec, Launcher, LocalExec, WorkerHandle};
+use crate::batch::{run_supervised, SupervisorOptions};
+use crate::journal::{grid_hash, Journal, JOURNAL_FILE};
+use crate::shard::{shard_dir, ShardError};
+
+/// How long the coordinator waits for a TCP connect before declaring the
+/// agent absent and falling back to local execution.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// How long each side waits for the other's handshake message.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Heartbeat/journal streaming cadence on the agent.
+const STREAM_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Returns the prefix of `text` up to and including its last `\n` — the
+/// only bytes either side ever trusts across a connection boundary, so a
+/// torn final line is re-run instead of glued onto fresh records.
+fn complete_prefix(text: &str) -> &str {
+    match text.rfind('\n') {
+        Some(nl) => &text[..=nl],
+        None => "",
+    }
+}
+
+// --- Agent side -----------------------------------------------------------
+
+/// Binds `listen` and serves shard assignments forever (one thread per
+/// connection), keeping per-shard state under `work_dir`.
+pub fn serve(listen: &str, work_dir: impl AsRef<Path>) -> Result<(), ShardError> {
+    let listener = TcpListener::bind(listen)
+        .map_err(|e| ShardError::Spawn(format!("agent cannot listen on {listen}: {e}")))?;
+    serve_listener(listener, work_dir.as_ref().to_path_buf())
+}
+
+/// [`serve`] over an already-bound listener (lets tests bind port 0).
+pub fn serve_listener(listener: TcpListener, work_dir: PathBuf) -> Result<(), ShardError> {
+    std::fs::create_dir_all(&work_dir)?;
+    eprintln!(
+        "agent listening on {} (work dir {})",
+        listener.local_addr()?,
+        work_dir.display()
+    );
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let work_dir = work_dir.clone();
+                std::thread::spawn(move || handle_conn(stream, &work_dir));
+            }
+            Err(e) => eprintln!("warning: agent accept failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn handle_conn(stream: TcpStream, work_dir: &Path) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    match run_assignment(stream, work_dir) {
+        Ok(what) => eprintln!("agent: {what} complete (coordinator {peer})"),
+        Err(why) => eprintln!("warning: agent assignment from {peer} failed: {why}"),
+    }
+}
+
+/// Reads one assignment off `stream` and runs it to its `Done` (or a
+/// chaos order's early exit). Any error reported here was also made
+/// visible to the coordinator — as a `Refuse`, a `Done{ok:false}`, or a
+/// severed link its dead-shard path will requeue.
+fn run_assignment(stream: TcpStream, work_dir: &Path) -> Result<String, String> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    let mut reader = MsgReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = MsgWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+
+    let msg = reader
+        .next_msg()
+        .map_err(|e| format!("reading the assignment: {e}"))?
+        .ok_or("connection closed before an assignment arrived")?;
+    let Msg::Assign(assign) = msg else {
+        return Err(format!("expected an assignment, got `{}`", msg.kind()));
+    };
+    let shard = assign.shard as usize;
+
+    let mut refuse = |reason: String| -> Result<String, String> {
+        let _ = writer.send(&Msg::Refuse {
+            reason: reason.clone(),
+        });
+        Err(format!("refused: {reason}"))
+    };
+
+    // Handshake validation: the per-frame checksum proves the bytes
+    // arrived intact; recomputing the grid hash over the *decoded* jobs
+    // proves the codec reconstructed the coordinator's exact slice.
+    let hash = grid_hash(&assign.jobs);
+    if hash != assign.grid_hash {
+        return refuse(format!(
+            "grid hash mismatch: assignment claims {:#018x}, decoded jobs hash to {hash:#018x}",
+            assign.grid_hash
+        ));
+    }
+    if assign.jobs.is_empty() {
+        return refuse("empty job slice".into());
+    }
+
+    // The grid hash makes the work directory location-independent: any
+    // agent given the same slice uses the same directory name. The
+    // attempt number keeps retries apart: a severed earlier attempt's
+    // runner cannot be stopped mid-job and may still be writing its own
+    // journal, so a retry routed to the same agent must not share files.
+    let my_dir = work_dir.join(format!(
+        "shard-{hash:016x}-{shard:04}-a{:02}",
+        assign.attempt
+    ));
+    if let Err(e) = std::fs::create_dir_all(&my_dir) {
+        return refuse(format!("cannot create {}: {e}", my_dir.display()));
+    }
+
+    // Seed the journal from the coordinator's complete-line prefix. The
+    // coordinator's copy is authoritative — stale local state from an
+    // earlier identical sweep is overwritten, never trusted, so the
+    // streamed lines always cover exactly what the coordinator is
+    // missing.
+    let journal_path = my_dir.join(JOURNAL_FILE);
+    let seed = complete_prefix(&assign.prior_journal);
+    if seed.is_empty() {
+        let _ = std::fs::remove_file(&journal_path);
+    } else if let Err(e) = std::fs::write(&journal_path, seed) {
+        return refuse(format!("cannot seed the shard journal: {e}"));
+    }
+    let journal = match if seed.is_empty() {
+        Journal::create(&my_dir, &assign.jobs)
+    } else {
+        Journal::resume(&my_dir, &assign.jobs)
+    } {
+        Ok(j) => j,
+        Err(e) => return refuse(format!("shard journal: {e}")),
+    };
+
+    writer
+        .send(&Msg::Accept {
+            shard: assign.shard,
+        })
+        .map_err(|e| format!("sending accept: {e}"))?;
+
+    // Chaos order: accept, then wedge — no heartbeats, no work — until
+    // the coordinator's lease watchdog gives up on us and hangs up.
+    if assign.stall {
+        return stall_until_hangup(&stream);
+    }
+
+    let sup = SupervisorOptions {
+        timeout: (assign.timeout_s > 0.0).then(|| Duration::from_secs_f64(assign.timeout_s)),
+        retries: assign.retries,
+        retry_backoff: Duration::from_secs_f64(assign.retry_backoff_s.max(0.0)),
+        sim_time_cap_s: (assign.sim_time_cap_s > 0.0).then_some(assign.sim_time_cap_s),
+        workers: NonZeroUsize::new(assign.threads as usize),
+        // Store recording is a local-disk feature; it is not forwarded
+        // across the wire (documented in DESIGN.md §4i).
+        store: None,
+    };
+    let abort_at = (assign.abort_after_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(assign.abort_after_ms));
+    let label = format!(
+        "shard {shard} ({} jobs, grid {hash:#018x})",
+        assign.jobs.len()
+    );
+
+    std::thread::scope(|scope| {
+        let jobs = &assign.jobs;
+        let journal = &journal;
+        let sup = &sup;
+        let runner = scope.spawn(move || {
+            let _ = run_supervised(jobs, sup, Some(journal));
+        });
+        let mut counter = 0u64;
+        let mut offset = seed.len() as u64;
+        loop {
+            if let Some(t) = abort_at {
+                if Instant::now() >= t {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return Err("chaos order: severed the connection mid-run".to_string());
+                }
+            }
+            // Snapshot `finished` *before* draining: anything journaled
+            // before this observation is caught by the drain below, so
+            // the final `Done` never races past a `done` line.
+            let finished = runner.is_finished();
+            counter += 1;
+            writer
+                .send(&Msg::Heartbeat { counter })
+                .map_err(|e| format!("sending heartbeat: {e}"))?;
+            match new_complete_lines(&journal_path, &mut offset) {
+                Ok(text) if !text.is_empty() => writer
+                    .send(&Msg::JournalLines { text })
+                    .map_err(|e| format!("streaming journal lines: {e}"))?,
+                Ok(_) => {}
+                Err(e) => return Err(format!("reading the shard journal back: {e}")),
+            }
+            if finished {
+                break;
+            }
+            std::thread::sleep(STREAM_INTERVAL);
+        }
+        let (ok, error) = match runner.join() {
+            Ok(()) => (true, String::new()),
+            Err(panic) => (
+                false,
+                format!("agent runner panicked: {}", panic_text(&panic)),
+            ),
+        };
+        writer
+            .send(&Msg::Done { ok, error })
+            .map_err(|e| format!("sending done: {e}"))?;
+        Ok(label)
+    })
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Holds the connection open silently until the coordinator hangs up (or
+/// the link dies) — the deterministic stand-in for a wedged agent.
+fn stall_until_hangup(stream: &TcpStream) -> Result<String, String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let mut probe: &TcpStream = stream;
+    let mut buf = [0u8; 64];
+    loop {
+        match probe.read(&mut buf) {
+            Ok(0) => return Err("stalled on chaos order until the coordinator hung up".into()),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return Err("stalled on chaos order until the link died".into()),
+        }
+    }
+}
+
+/// Returns the journal bytes past `offset` up to the last complete line,
+/// advancing `offset` past what was returned.
+fn new_complete_lines(path: &Path, offset: &mut u64) -> std::io::Result<String> {
+    let mut file = std::fs::File::open(path)?;
+    file.seek(SeekFrom::Start(*offset))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    let Some(last_nl) = buf.iter().rposition(|&b| b == b'\n') else {
+        return Ok(String::new());
+    };
+    buf.truncate(last_nl + 1);
+    let text = String::from_utf8(buf).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "journal bytes are not UTF-8",
+        )
+    })?;
+    *offset += text.len() as u64;
+    Ok(text)
+}
+
+// --- Coordinator side -----------------------------------------------------
+
+/// Launcher distributing shard attempts round-robin over a pool of
+/// `wrsn agent` addresses, with deterministic network chaos and graceful
+/// local fallback when an agent is absent or refuses.
+pub(crate) struct TcpAgentPool {
+    agents: Vec<String>,
+    chaos_net: f64,
+    chaos_seed: u64,
+    /// Full-grid hash, seeding the chaos plan (mirrors worker chaos).
+    grid_hash: u64,
+}
+
+impl TcpAgentPool {
+    pub(crate) fn new(
+        agents: Vec<String>,
+        chaos_net: f64,
+        chaos_seed: u64,
+        grid_hash: u64,
+    ) -> Self {
+        assert!(!agents.is_empty(), "TcpAgentPool needs at least one agent");
+        Self {
+            agents,
+            chaos_net,
+            chaos_seed,
+            grid_hash,
+        }
+    }
+}
+
+impl Launcher for TcpAgentPool {
+    fn launch(&mut self, spec: &LaunchSpec<'_>) -> Result<Box<dyn WorkerHandle>, ShardError> {
+        // Round-robin by (shard + attempt): a retry naturally lands on a
+        // different agent, so one dead box cannot pin a shard down.
+        let addr = self.agents[(spec.shard + spec.attempt as usize) % self.agents.len()].clone();
+        let plan = net_chaos_plan(
+            self.chaos_net,
+            self.chaos_seed,
+            self.grid_hash,
+            spec.shard,
+            spec.attempt,
+        );
+        if let Some(c) = plan {
+            eprintln!(
+                "chaos: shard {} attempt {} gets a network fault: {}",
+                spec.shard,
+                spec.attempt + 1,
+                describe_net_chaos(c)
+            );
+        }
+        match remote_launch(&addr, spec, plan) {
+            RemoteLaunch::Handle(handle) => Ok(Box::new(handle)),
+            RemoteLaunch::Fallback(why) => {
+                eprintln!(
+                    "warning: agent {addr} unavailable for shard {} ({why}); \
+                     running the shard locally instead",
+                    spec.shard
+                );
+                LocalExec.launch(spec)
+            }
+        }
+    }
+}
+
+fn describe_net_chaos(c: NetChaos) -> String {
+    match c {
+        NetChaos::TornAssign => "assignment torn mid-write".into(),
+        NetChaos::Delay(d) => format!("assignment delayed {} ms", d.as_millis()),
+        NetChaos::Partition => "one-way partition (replies discarded)".into(),
+        NetChaos::StallAgent => "agent stalled (lease left to expire)".into(),
+        NetChaos::AbortAgent(d) => format!("agent severs the link after {} ms", d.as_millis()),
+    }
+}
+
+/// Outcome of trying to place a shard on an agent. `Fallback` is reserved
+/// for "the agent is not there for us" (connect failure, explicit
+/// refusal); a link that existed and then misbehaved comes back as a dead
+/// `Handle` so the shard takes the ordinary requeue path — retrying a
+/// flaky link is right, retrying a refusal is not.
+pub(crate) enum RemoteLaunch {
+    Handle(RemoteHandle),
+    Fallback(String),
+}
+
+pub(crate) fn remote_launch(
+    addr: &str,
+    spec: &LaunchSpec<'_>,
+    plan: Option<NetChaos>,
+) -> RemoteLaunch {
+    let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        return RemoteLaunch::Fallback(format!("cannot resolve `{addr}`"));
+    };
+    let stream = match TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT) {
+        Ok(s) => s,
+        Err(e) => return RemoteLaunch::Fallback(format!("connect failed: {e}")),
+    };
+    stream.set_nodelay(true).ok();
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => return RemoteLaunch::Fallback(format!("cannot clone the socket: {e}")),
+    };
+
+    if let Some(NetChaos::Delay(d)) = plan {
+        std::thread::sleep(d);
+    }
+
+    // Assemble the assignment. The coordinator's shard journal (complete
+    // lines only) rides along so the agent resumes instead of rerunning.
+    let journal_path = shard_dir(spec.dir, spec.shard).join(JOURNAL_FILE);
+    let prior = std::fs::read_to_string(&journal_path).unwrap_or_default();
+    let assign = wire::Assign {
+        shard: spec.shard as u64,
+        attempt: spec.attempt,
+        grid_hash: grid_hash(spec.jobs),
+        threads: spec.threads as u64,
+        retries: spec.sup.retries,
+        retry_backoff_s: spec.sup.retry_backoff.as_secs_f64(),
+        timeout_s: spec.sup.timeout.map_or(-1.0, |d| d.as_secs_f64()),
+        sim_time_cap_s: spec.sup.sim_time_cap_s.unwrap_or(-1.0),
+        stall: spec.stall || matches!(plan, Some(NetChaos::StallAgent)),
+        abort_after_ms: match plan {
+            Some(NetChaos::AbortAgent(d)) => d.as_millis() as u64,
+            _ => 0,
+        },
+        jobs: spec.jobs.to_vec(),
+        prior_journal: complete_prefix(&prior).to_string(),
+    };
+    let mut bytes = wire::header_bytes();
+    bytes.extend_from_slice(&wire::frame(&Msg::Assign(Box::new(assign))));
+
+    if matches!(plan, Some(NetChaos::TornAssign)) {
+        // Write the header plus half the assignment frame, then sever:
+        // the agent sees a torn frame and hangs up without accepting.
+        let cut = 12 + (bytes.len() - 12) / 2;
+        let mut w: &TcpStream = &stream;
+        let _ = w.write_all(&bytes[..cut]);
+        let _ = stream.shutdown(Shutdown::Both);
+        return RemoteLaunch::Handle(RemoteHandle::dead(format!(
+            "assignment to agent {addr} torn mid-write"
+        )));
+    }
+
+    {
+        let mut w: &TcpStream = &stream;
+        if let Err(e) = w.write_all(&bytes).and_then(|_| w.flush()) {
+            return RemoteLaunch::Handle(RemoteHandle::dead(format!(
+                "sending the assignment to agent {addr} failed: {e}"
+            )));
+        }
+    }
+
+    // Synchronous handshake: one Accept/Refuse within the timeout.
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let mut reader = MsgReader::new(reader_stream);
+    match reader.next_msg() {
+        Ok(Some(Msg::Accept { .. })) => {}
+        Ok(Some(Msg::Refuse { reason })) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return RemoteLaunch::Fallback(format!("agent refused the shard: {reason}"));
+        }
+        Ok(Some(other)) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return RemoteLaunch::Handle(RemoteHandle::dead(format!(
+                "agent {addr} sent `{}` before accepting",
+                other.kind()
+            )));
+        }
+        Ok(None) => {
+            return RemoteLaunch::Handle(RemoteHandle::dead(format!(
+                "agent {addr} hung up during the handshake"
+            )))
+        }
+        Err(e) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return RemoteLaunch::Handle(RemoteHandle::dead(format!(
+                "handshake with agent {addr} failed: {e}"
+            )));
+        }
+    }
+    let _ = stream.set_read_timeout(None);
+
+    RemoteLaunch::Handle(RemoteHandle::live(
+        stream,
+        reader,
+        journal_path,
+        matches!(plan, Some(NetChaos::Partition)),
+    ))
+}
+
+struct RemoteShared {
+    heartbeat: u64,
+    finished: Option<Result<(), String>>,
+}
+
+/// Coordinator-side handle to one accepted remote shard attempt: a reader
+/// thread drains the agent's stream into the shared state and the local
+/// shard journal; `kill` severs the socket and joins the reader, so after
+/// it returns no more bytes are appended on the attempt's behalf — the
+/// invariant that makes requeue + resume safe.
+pub(crate) struct RemoteHandle {
+    stream: Option<TcpStream>,
+    reader: Option<JoinHandle<()>>,
+    shared: Arc<Mutex<RemoteShared>>,
+}
+
+impl RemoteHandle {
+    /// A handle that failed before it ever ran: `poll` reports the reason
+    /// immediately and the coordinator requeues.
+    fn dead(reason: String) -> Self {
+        Self {
+            stream: None,
+            reader: None,
+            shared: Arc::new(Mutex::new(RemoteShared {
+                heartbeat: 0,
+                finished: Some(Err(reason)),
+            })),
+        }
+    }
+
+    fn live(
+        stream: TcpStream,
+        reader: MsgReader<TcpStream>,
+        journal_path: PathBuf,
+        partition: bool,
+    ) -> Self {
+        let shared = Arc::new(Mutex::new(RemoteShared {
+            heartbeat: 0,
+            finished: None,
+        }));
+        let thread_shared = Arc::clone(&shared);
+        let thread =
+            std::thread::spawn(move || reader_loop(reader, thread_shared, journal_path, partition));
+        Self {
+            stream: Some(stream),
+            reader: Some(thread),
+            shared,
+        }
+    }
+
+    fn sever(&mut self) {
+        // Claim the verdict before the shutdown wakes the reader, so an
+        // intentional kill reads as a kill rather than as the link error
+        // the reader observes a moment later (`finish` is
+        // first-writer-wins).
+        if self.stream.is_some() {
+            if let Ok(mut shared) = self.shared.lock() {
+                if shared.finished.is_none() {
+                    shared.finished = Some(Err("connection severed by the coordinator".into()));
+                }
+            }
+        }
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl WorkerHandle for RemoteHandle {
+    fn poll(&mut self) -> Option<Result<(), String>> {
+        match self.shared.lock() {
+            Ok(shared) => shared.finished.clone(),
+            Err(_) => Some(Err("remote handle state poisoned".into())),
+        }
+    }
+
+    fn lease(&mut self) -> String {
+        match self.shared.lock() {
+            Ok(shared) => shared.heartbeat.to_string(),
+            Err(_) => String::new(),
+        }
+    }
+
+    fn kill(&mut self) {
+        self.sever();
+    }
+
+    fn stderr_tail(&mut self) -> String {
+        // Remote failure context arrives in-band (Refuse reasons, the
+        // Done error) and is already part of the poll verdict.
+        String::new()
+    }
+}
+
+impl Drop for RemoteHandle {
+    fn drop(&mut self) {
+        self.sever();
+    }
+}
+
+fn reader_loop(
+    mut reader: MsgReader<TcpStream>,
+    shared: Arc<Mutex<RemoteShared>>,
+    journal_path: PathBuf,
+    partition: bool,
+) {
+    let finish = |verdict: Result<(), String>| {
+        if let Ok(mut shared) = shared.lock() {
+            if shared.finished.is_none() {
+                shared.finished = Some(verdict);
+            }
+        }
+    };
+    let mut sink: Option<std::fs::File> = None;
+    loop {
+        match reader.next_msg() {
+            Ok(Some(msg)) => {
+                if partition {
+                    // One-way partition: the agent's frames never "arrive".
+                    // Its lease freezes and the watchdog reaps the shard.
+                    continue;
+                }
+                match msg {
+                    Msg::Heartbeat { counter } => {
+                        if let Ok(mut shared) = shared.lock() {
+                            shared.heartbeat = counter;
+                        }
+                    }
+                    Msg::JournalLines { text } => {
+                        if let Err(e) = append_lines(&mut sink, &journal_path, &text) {
+                            finish(Err(format!("cannot append streamed journal lines: {e}")));
+                            return;
+                        }
+                    }
+                    Msg::Done { ok, error } => {
+                        finish(if ok {
+                            Ok(())
+                        } else {
+                            Err(format!("agent reported failure: {error}"))
+                        });
+                        return;
+                    }
+                    // A duplicate Accept (or anything else) is harmless.
+                    _ => {}
+                }
+            }
+            Ok(None) => {
+                finish(Err(
+                    "agent closed the connection before finishing the shard".into(),
+                ));
+                return;
+            }
+            Err(e) => {
+                finish(Err(format!("agent link lost: {e}")));
+                return;
+            }
+        }
+    }
+}
+
+/// Appends streamed complete lines to the local shard journal, opening it
+/// lazily. If an earlier (local) attempt left a torn final line, a `\n`
+/// is inserted first so fresh records never glue onto torn bytes.
+fn append_lines(sink: &mut Option<std::fs::File>, path: &Path, text: &str) -> std::io::Result<()> {
+    if sink.is_none() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let needs_newline = std::fs::read(path)
+            .map(|bytes| bytes.last().is_some_and(|&b| b != b'\n'))
+            .unwrap_or(false);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
+        *sink = Some(file);
+    }
+    let file = sink.as_mut().expect("sink was just opened");
+    file.write_all(text.as_bytes())?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{JobPanic, JobSpec};
+    use crate::shard::merge_shards;
+    use crate::{SimConfig, SimOutcome};
+
+    fn tiny_cfg(days: f64) -> SimConfig {
+        let mut cfg = SimConfig::small(days);
+        cfg.num_sensors = 30;
+        cfg.num_targets = 2;
+        cfg.num_rvs = 1;
+        cfg.field_side = 50.0;
+        cfg
+    }
+
+    fn jobs_of(cfg: &SimConfig, n: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|s| JobSpec::new(format!("point/seed={s}"), cfg, s))
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wrsn-agent-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Starts an agent on an ephemeral localhost port, returning its
+    /// address. The serving thread lives for the rest of the test binary.
+    fn start_agent(tag: &str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let work_dir = tmp_dir(&format!("work-{tag}"));
+        std::thread::spawn(move || {
+            let _ = serve_listener(listener, work_dir);
+        });
+        addr
+    }
+
+    fn wait_verdict(handle: &mut dyn WorkerHandle) -> Result<(), String> {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Some(v) = handle.poll() {
+                return v;
+            }
+            assert!(Instant::now() < deadline, "remote shard never finished");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn assert_bitwise_eq(
+        merged: &[Result<SimOutcome, JobPanic>],
+        reference: &[Result<SimOutcome, JobPanic>],
+    ) {
+        assert_eq!(merged.len(), reference.len());
+        for (m, r) in merged.iter().zip(reference) {
+            let (m, r) = (m.as_ref().unwrap(), r.as_ref().unwrap());
+            assert_eq!(m.report, r.report);
+            assert_eq!(m.total_drained_j.to_bits(), r.total_drained_j.to_bits());
+        }
+    }
+
+    #[test]
+    fn remote_shard_streams_a_journal_that_merges_bit_identically() {
+        let addr = start_agent("happy");
+        let cfg = tiny_cfg(0.1);
+        let jobs = jobs_of(&cfg, 3);
+        let dir = tmp_dir("happy-coord");
+        let sup = SupervisorOptions::default();
+        let spec = LaunchSpec {
+            dir: &dir,
+            shard: 0,
+            attempt: 0,
+            threads: 1,
+            stall: false,
+            jobs: &jobs,
+            sup: &sup,
+        };
+        let mut pool = TcpAgentPool::new(vec![addr], 0.0, 0, grid_hash(&jobs));
+        let mut handle = pool.launch(&spec).expect("launch");
+        wait_verdict(handle.as_mut()).expect("remote shard verdict");
+        assert!(
+            handle.lease().parse::<u64>().unwrap_or(0) >= 1,
+            "heartbeats must have advanced the lease"
+        );
+        drop(handle);
+        let merged = merge_shards(&jobs, &dir, &[(0, jobs.len())], &[]).expect("merge");
+        let reference = run_supervised(&jobs, &sup, None);
+        assert_bitwise_eq(&merged, &reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_assignment_yields_a_dead_handle_not_a_fallback() {
+        let addr = start_agent("torn");
+        let cfg = tiny_cfg(0.02);
+        let jobs = jobs_of(&cfg, 2);
+        let dir = tmp_dir("torn-coord");
+        let sup = SupervisorOptions::default();
+        let spec = LaunchSpec {
+            dir: &dir,
+            shard: 0,
+            attempt: 0,
+            threads: 1,
+            stall: false,
+            jobs: &jobs,
+            sup: &sup,
+        };
+        match remote_launch(&addr, &spec, Some(NetChaos::TornAssign)) {
+            RemoteLaunch::Handle(mut h) => {
+                let why = wait_verdict(&mut h).unwrap_err();
+                assert!(why.contains("torn"), "{why}");
+            }
+            RemoteLaunch::Fallback(why) => panic!("torn assign must not fall back: {why}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stalled_agent_freezes_the_lease_and_kill_reaps_it() {
+        let addr = start_agent("stall");
+        let cfg = tiny_cfg(0.02);
+        let jobs = jobs_of(&cfg, 2);
+        let dir = tmp_dir("stall-coord");
+        let sup = SupervisorOptions::default();
+        let spec = LaunchSpec {
+            dir: &dir,
+            shard: 0,
+            attempt: 0,
+            threads: 1,
+            stall: false,
+            jobs: &jobs,
+            sup: &sup,
+        };
+        let RemoteLaunch::Handle(mut h) = remote_launch(&addr, &spec, Some(NetChaos::StallAgent))
+        else {
+            panic!("healthy agent must not fall back");
+        };
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(h.poll().is_none(), "a stalled agent looks alive to poll");
+        assert_eq!(h.lease(), "0", "no heartbeats from a stalled agent");
+        h.kill();
+        let why = wait_verdict(&mut h).unwrap_err();
+        assert!(why.contains("severed"), "{why}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aborted_agent_resumes_on_the_next_attempt_without_rerunning_done_jobs() {
+        let addr = start_agent("abort");
+        // Slow enough that the 1 ms abort lands mid-run.
+        let cfg = tiny_cfg(2.0);
+        let jobs = jobs_of(&cfg, 2);
+        let dir = tmp_dir("abort-coord");
+        let sup = SupervisorOptions::default();
+        let spec = LaunchSpec {
+            dir: &dir,
+            shard: 0,
+            attempt: 0,
+            threads: 1,
+            stall: false,
+            jobs: &jobs,
+            sup: &sup,
+        };
+        let RemoteLaunch::Handle(mut h) = remote_launch(
+            &addr,
+            &spec,
+            Some(NetChaos::AbortAgent(Duration::from_millis(1))),
+        ) else {
+            panic!("healthy agent must not fall back");
+        };
+        let first = wait_verdict(&mut h);
+        drop(h);
+        if first.is_err() {
+            // The expected path: the link died mid-run; attempt 2 resumes
+            // from whatever complete lines made it across.
+            let retry = LaunchSpec { attempt: 1, ..spec };
+            let RemoteLaunch::Handle(mut h) = remote_launch(&addr, &retry, None) else {
+                panic!("healthy agent must not fall back");
+            };
+            wait_verdict(&mut h).expect("retry verdict");
+            drop(h);
+        }
+        let merged = merge_shards(&jobs, &dir, &[(0, jobs.len())], &[]).expect("merge");
+        let reference = run_supervised(&jobs, &sup, None);
+        assert_bitwise_eq(&merged, &reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn agent_refuses_a_grid_hash_mismatch() {
+        let addr = start_agent("refuse");
+        let cfg = tiny_cfg(0.02);
+        let jobs = jobs_of(&cfg, 2);
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = MsgWriter::new(stream.try_clone().unwrap());
+        writer
+            .send(&Msg::Assign(Box::new(wire::Assign {
+                shard: 0,
+                attempt: 0,
+                grid_hash: grid_hash(&jobs) ^ 1,
+                threads: 1,
+                retries: 1,
+                retry_backoff_s: 0.05,
+                timeout_s: -1.0,
+                sim_time_cap_s: -1.0,
+                stall: false,
+                abort_after_ms: 0,
+                jobs,
+                prior_journal: String::new(),
+            })))
+            .expect("send assign");
+        let mut reader = MsgReader::new(stream);
+        match reader.next_msg().expect("handshake reply") {
+            Some(Msg::Refuse { reason }) => {
+                assert!(reason.contains("grid hash mismatch"), "{reason}")
+            }
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_agent_classifies_as_fallback() {
+        let cfg = tiny_cfg(0.02);
+        let jobs = jobs_of(&cfg, 1);
+        let dir = tmp_dir("absent-coord");
+        let sup = SupervisorOptions::default();
+        let spec = LaunchSpec {
+            dir: &dir,
+            shard: 0,
+            attempt: 0,
+            threads: 1,
+            stall: false,
+            jobs: &jobs,
+            sup: &sup,
+        };
+        // Port 9 (discard) is essentially never open on CI boxes.
+        match remote_launch("127.0.0.1:9", &spec, None) {
+            RemoteLaunch::Fallback(why) => assert!(why.contains("connect failed"), "{why}"),
+            RemoteLaunch::Handle(_) => panic!("a refused connect must classify as fallback"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,277 @@
+//! Pluggable worker transports for the sharded sweep fabric
+//! (DESIGN.md §4i).
+//!
+//! The §4g coordinator supervises *something that runs one shard attempt*:
+//! it spawns it, watches a liveness lease, kills it when a watchdog trips,
+//! and requeues the shard when it dies. This module names that contract —
+//! [`Launcher`] / [`WorkerHandle`] — and provides two transports:
+//!
+//! * [`LocalExec`] — PR 7's env-flagged re-exec of the current binary,
+//!   behavior-preserving, plus a stderr tee that keeps the last
+//!   [`STDERR_TAIL_LINES`] lines so a dead worker's `JobPanic` report
+//!   carries *why* it died, not just its exit status;
+//! * [`agent::TcpAgentPool`] — a TCP transport that ships the shard's job
+//!   slice to a remote `wrsn agent` daemon and streams its journal back
+//!   (see [`agent`] and [`wire`]).
+//!
+//! The coordinator stays transport-agnostic: every network failure mode a
+//! remote transport can produce (connection loss, heartbeat silence,
+//! frame corruption) surfaces through the same `poll`/`lease` surface as
+//! a local worker crash, and therefore lands on the same
+//! requeue → resume → merge path.
+
+pub mod agent;
+pub(crate) mod chaos;
+pub mod wire;
+
+use std::collections::VecDeque;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::batch::{JobSpec, SupervisorOptions};
+use crate::shard::{describe_exit, shard_dir, ShardError, LEASE_FILE};
+
+pub use agent::serve;
+pub(crate) use agent::TcpAgentPool;
+
+/// How many trailing stderr lines a transport keeps for failure reports.
+pub const STDERR_TAIL_LINES: usize = 20;
+
+/// Everything a transport needs to start one shard attempt.
+pub(crate) struct LaunchSpec<'a> {
+    /// Fabric directory (manifest + per-shard state).
+    pub dir: &'a Path,
+    /// Global shard index.
+    pub shard: usize,
+    /// Zero-based attempt number.
+    pub attempt: u32,
+    /// Worker thread budget (backpressure-divided by the coordinator).
+    pub threads: usize,
+    /// Chaos order: the worker should accept the shard and then hang
+    /// without heartbeating, so the lease watchdog has something to reap.
+    pub stall: bool,
+    /// The shard's job slice (global range `[lo, hi)`).
+    pub jobs: &'a [JobSpec],
+    /// Supervision knobs forwarded to the worker's `run_supervised`.
+    pub sup: &'a SupervisorOptions,
+}
+
+/// One live shard attempt under supervision, whatever its transport.
+pub(crate) trait WorkerHandle: Send {
+    /// Non-blocking liveness probe: `None` while running, `Some(Ok(()))`
+    /// on success, `Some(Err(reason))` when the attempt failed.
+    fn poll(&mut self) -> Option<Result<(), String>>;
+    /// Opaque liveness token; the coordinator declares the attempt hung
+    /// when it stops changing for longer than the lease timeout.
+    fn lease(&mut self) -> String;
+    /// SIGKILL-equivalent: stop the attempt and release its resources.
+    /// Idempotent; after it returns no more journal bytes are written on
+    /// the attempt's behalf.
+    fn kill(&mut self);
+    /// Last ~[`STDERR_TAIL_LINES`] lines of the worker's stderr (empty if
+    /// the transport has none) — appended to failure reports so a dead
+    /// worker is diagnosable.
+    fn stderr_tail(&mut self) -> String;
+}
+
+/// Starts shard attempts over one transport.
+pub(crate) trait Launcher {
+    fn launch(&mut self, spec: &LaunchSpec<'_>) -> Result<Box<dyn WorkerHandle>, ShardError>;
+}
+
+// --- Stderr tail ----------------------------------------------------------
+
+/// Bounded ring of the most recent stderr lines.
+pub(crate) struct TailBuf {
+    lines: VecDeque<String>,
+    cap: usize,
+}
+
+impl TailBuf {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            lines: VecDeque::with_capacity(cap),
+            cap: cap.max(1),
+        }
+    }
+
+    pub(crate) fn push(&mut self, line: String) {
+        if self.lines.len() == self.cap {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(line);
+    }
+
+    /// Renders the tail as one ` | `-joined line, safe to embed in a
+    /// `JobPanic` message (and hence a journal record).
+    pub(crate) fn render(&self) -> String {
+        self.lines
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+// --- LocalExec ------------------------------------------------------------
+
+/// PR 7's transport: re-exec the current binary with the same argv,
+/// flagged into worker mode by `WRSN_SHARD_WORKER`.
+pub(crate) struct LocalExec;
+
+impl Launcher for LocalExec {
+    fn launch(&mut self, spec: &LaunchSpec<'_>) -> Result<Box<dyn WorkerHandle>, ShardError> {
+        use crate::shard::{CHAOS_ENV, DIR_ENV, THREADS_ENV, WORKER_ENV};
+        let exe = std::env::current_exe()?;
+        let mut cmd = Command::new(exe);
+        cmd.args(std::env::args().skip(1))
+            .env(WORKER_ENV, spec.shard.to_string())
+            .env(DIR_ENV, spec.dir)
+            .env(THREADS_ENV, spec.threads.to_string())
+            .env_remove(CHAOS_ENV);
+        if spec.stall {
+            cmd.env(CHAOS_ENV, "stall");
+        }
+        let lease_path = shard_dir(spec.dir, spec.shard).join(LEASE_FILE);
+        Ok(Box::new(LocalHandle::spawn(cmd, lease_path, spec.shard)?))
+    }
+}
+
+/// One supervised local worker process: the child, its lease file, and a
+/// tee thread echoing its stderr while keeping the trailing lines.
+pub(crate) struct LocalHandle {
+    child: Child,
+    lease_path: PathBuf,
+    tail: Arc<Mutex<TailBuf>>,
+    tee: Option<JoinHandle<()>>,
+}
+
+impl LocalHandle {
+    /// Spawns `cmd` under supervision. Stdout is discarded (workers must
+    /// not interleave with the coordinator's tables); stderr is piped
+    /// through a tee so warnings still reach the coordinator's stderr
+    /// while the tail stays available for failure reports.
+    pub(crate) fn spawn(
+        mut cmd: Command,
+        lease_path: PathBuf,
+        shard: usize,
+    ) -> Result<Self, ShardError> {
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| ShardError::Spawn(format!("shard {shard}: {e}")))?;
+        let tail = Arc::new(Mutex::new(TailBuf::new(STDERR_TAIL_LINES)));
+        let tee = child.stderr.take().map(|pipe| {
+            let tail = Arc::clone(&tail);
+            std::thread::spawn(move || {
+                for line in std::io::BufReader::new(pipe).lines() {
+                    let Ok(line) = line else { break };
+                    eprintln!("{line}");
+                    if let Ok(mut t) = tail.lock() {
+                        t.push(line);
+                    }
+                }
+            })
+        });
+        Ok(Self {
+            child,
+            lease_path,
+            tail,
+            tee,
+        })
+    }
+}
+
+impl WorkerHandle for LocalHandle {
+    fn poll(&mut self) -> Option<Result<(), String>> {
+        match self.child.try_wait() {
+            Ok(Some(status)) => {
+                // Drain the pipe to its EOF before reporting, so the tail
+                // holds the worker's final words.
+                if let Some(tee) = self.tee.take() {
+                    let _ = tee.join();
+                }
+                Some(if status.success() {
+                    Ok(())
+                } else {
+                    Err(describe_exit(&status))
+                })
+            }
+            Ok(None) => None,
+            Err(e) => Some(Err(format!("wait failed: {e}"))),
+        }
+    }
+
+    fn lease(&mut self) -> String {
+        std::fs::read_to_string(&self.lease_path).unwrap_or_default()
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+    }
+
+    fn stderr_tail(&mut self) -> String {
+        self.tail.lock().map(|t| t.render()).unwrap_or_default()
+    }
+}
+
+impl Drop for LocalHandle {
+    /// A dropped handle must not leak the process or the tee thread —
+    /// dropping `running` mid-error reaps every live worker.
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(tee) = self.tee.take() {
+            let _ = tee.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn tail_buf_keeps_only_the_last_lines() {
+        let mut t = TailBuf::new(3);
+        for i in 0..7 {
+            t.push(format!("line-{i}"));
+        }
+        assert_eq!(t.render(), "line-4 | line-5 | line-6");
+        assert_eq!(TailBuf::new(2).render(), "");
+    }
+
+    /// Spawns an arbitrary command (not a re-exec) through the local
+    /// handle and checks the failure report carries the stderr tail.
+    #[test]
+    #[cfg(unix)]
+    fn local_handle_reports_exit_status_with_stderr_tail() {
+        let mut cmd = Command::new("sh");
+        cmd.args([
+            "-c",
+            "for i in $(seq 1 30); do echo noise-$i >&2; done; echo real-cause >&2; exit 7",
+        ]);
+        let mut handle =
+            LocalHandle::spawn(cmd, std::env::temp_dir().join("no-such-lease"), 0).expect("spawn");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let verdict = loop {
+            if let Some(v) = handle.poll() {
+                break v;
+            }
+            assert!(Instant::now() < deadline, "worker never exited");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(verdict.unwrap_err(), "worker exited with code 7");
+        let tail = handle.stderr_tail();
+        assert!(tail.ends_with("real-cause"), "tail: {tail}");
+        // The ring is bounded: early noise fell off.
+        assert!(!tail.contains("noise-1 |"), "tail: {tail}");
+        assert!(tail.contains("noise-30"), "tail: {tail}");
+    }
+}

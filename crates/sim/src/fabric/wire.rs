@@ -1,0 +1,588 @@
+//! Wire codec for the multi-machine sweep fabric (DESIGN.md §4i).
+//!
+//! Both directions of an agent connection carry the same byte discipline
+//! as the run store's event log (`store/log.rs`):
+//!
+//! ```text
+//! [ magic "WRSNFAB1" | version u32 ]                      header, once
+//! [ len u32 | payload (len bytes) | fnv1a(payload) u64 ]  frame, repeated
+//! ```
+//!
+//! all little-endian. The coordinator opens with an [`Msg::Assign`]
+//! carrying the shard's job slice (configs via the snapshot codec), the
+//! supervision knobs, and the prior shard journal text for resume; the
+//! agent answers [`Msg::Accept`] or [`Msg::Refuse`], then streams
+//! [`Msg::Heartbeat`] leases and complete [`Msg::JournalLines`] until a
+//! final [`Msg::Done`].
+//!
+//! Decoding mirrors the log's damage model: only header damage is a hard
+//! error (there is nothing to salvage), while anything after it degrades
+//! into [`StreamTail`] — a torn final frame or a checksum/decode failure
+//! never panics and never hides the valid prefix before it. The blocking
+//! [`MsgReader`] used on live sockets funnels through the same
+//! [`step`] parser as the pure [`decode_stream`], so the fuzz suite over
+//! byte buffers covers the socket path too.
+
+use std::io::{Read, Write};
+
+use crate::batch::JobSpec;
+use crate::snapshot::{self, Dec, Enc, SnapshotError};
+
+/// Magic bytes opening each direction of an agent connection.
+pub const WIRE_MAGIC: [u8; 8] = *b"WRSNFAB1";
+/// Bumped on any incompatible change to the frame payloads.
+pub const WIRE_VERSION: u32 = 1;
+/// Sanity bound: no legitimate frame is gigabytes long, so a corrupt
+/// length prefix cannot make a reader buffer one.
+const MAX_FRAME: usize = 1 << 24;
+
+/// A shard assignment: everything an agent needs to run one shard's job
+/// slice under the same supervision contract as a local worker.
+#[derive(Debug, Clone)]
+pub struct Assign {
+    /// Global shard index (for directory naming and log lines).
+    pub shard: u64,
+    /// Zero-based attempt number. Part of the agent's work-dir name: an
+    /// abandoned earlier attempt (its link severed mid-run) may still be
+    /// writing its own journal, so a retry must never share its files.
+    pub attempt: u32,
+    /// `journal::grid_hash` of `jobs` — the agent recomputes it over the
+    /// decoded slice and refuses on mismatch, catching any codec drift
+    /// the per-frame checksum cannot.
+    pub grid_hash: u64,
+    /// Worker threads for the supervised run (0 = agent's default).
+    pub threads: u64,
+    /// Per-job retry budget ([`crate::batch::SupervisorOptions::retries`]).
+    pub retries: u32,
+    /// Per-job retry backoff in seconds.
+    pub retry_backoff_s: f64,
+    /// Per-job watchdog timeout in seconds (`<= 0` = none).
+    pub timeout_s: f64,
+    /// Simulated-time cap in seconds (`<= 0` = none).
+    pub sim_time_cap_s: f64,
+    /// Chaos order: accept, then go silent (no heartbeats, no work) so
+    /// the coordinator's lease watchdog has something to reap.
+    pub stall: bool,
+    /// Chaos order: sever the connection this many ms after accepting
+    /// (0 = never) — a deterministic stand-in for an agent crash.
+    pub abort_after_ms: u64,
+    /// The shard's job slice.
+    pub jobs: Vec<JobSpec>,
+    /// Complete-line prefix of the coordinator's shard journal from
+    /// earlier attempts; the agent seeds its journal with it so finished
+    /// jobs are not re-run (and not re-streamed).
+    pub prior_journal: String,
+}
+
+/// One fabric message. `Assign` flows coordinator → agent; everything
+/// else flows agent → coordinator.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Shard assignment (boxed: it dwarfs the other variants).
+    Assign(Box<Assign>),
+    /// The agent took the shard and will start streaming.
+    Accept { shard: u64 },
+    /// The agent cannot take the shard (version/hash mismatch, bad work
+    /// dir); the coordinator falls back to local execution.
+    Refuse { reason: String },
+    /// Liveness lease: a counter that increases while the shard runs.
+    Heartbeat { counter: u64 },
+    /// A chunk of *complete* journal lines (always `\n`-terminated) to
+    /// append to the coordinator's shard journal.
+    JournalLines { text: String },
+    /// Terminal verdict for the assignment.
+    Done { ok: bool, error: String },
+}
+
+impl Msg {
+    /// Short tag name for log lines and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Assign(_) => "assign",
+            Msg::Accept { .. } => "accept",
+            Msg::Refuse { .. } => "refuse",
+            Msg::Heartbeat { .. } => "heartbeat",
+            Msg::JournalLines { .. } => "journal_lines",
+            Msg::Done { .. } => "done",
+        }
+    }
+}
+
+fn encode_str(e: &mut Enc, s: &str) {
+    e.len(s.len());
+    e.buf.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(d: &mut Dec) -> Result<String, SnapshotError> {
+    let n = d.len()?;
+    let bytes = d.take(n)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| SnapshotError::Corrupt("string field is not UTF-8".into()))
+}
+
+fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut e = Enc::new();
+    match msg {
+        Msg::Assign(a) => {
+            e.u8(0);
+            e.u64(a.shard);
+            e.u32(a.attempt);
+            e.u64(a.grid_hash);
+            e.u64(a.threads);
+            e.u32(a.retries);
+            e.f64(a.retry_backoff_s);
+            e.f64(a.timeout_s);
+            e.f64(a.sim_time_cap_s);
+            e.bool(a.stall);
+            e.u64(a.abort_after_ms);
+            e.len(a.jobs.len());
+            for job in &a.jobs {
+                encode_str(&mut e, &job.label);
+                e.u64(job.seed);
+                snapshot::encode_config(&mut e, &job.config);
+            }
+            encode_str(&mut e, &a.prior_journal);
+        }
+        Msg::Accept { shard } => {
+            e.u8(1);
+            e.u64(*shard);
+        }
+        Msg::Refuse { reason } => {
+            e.u8(2);
+            encode_str(&mut e, reason);
+        }
+        Msg::Heartbeat { counter } => {
+            e.u8(3);
+            e.u64(*counter);
+        }
+        Msg::JournalLines { text } => {
+            e.u8(4);
+            encode_str(&mut e, text);
+        }
+        Msg::Done { ok, error } => {
+            e.u8(5);
+            e.bool(*ok);
+            encode_str(&mut e, error);
+        }
+    }
+    e.buf
+}
+
+/// Decodes one frame payload. Any failure (bad tag, short payload,
+/// trailing garbage, non-UTF-8 strings) is a decode error the caller
+/// maps onto [`StreamTail::Corrupt`].
+fn decode_msg(payload: &[u8]) -> Result<Msg, SnapshotError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        0 => {
+            let shard = d.u64()?;
+            let attempt = d.u32()?;
+            let grid_hash = d.u64()?;
+            let threads = d.u64()?;
+            let retries = d.u32()?;
+            let retry_backoff_s = d.f64()?;
+            let timeout_s = d.f64()?;
+            let sim_time_cap_s = d.f64()?;
+            let stall = d.bool()?;
+            let abort_after_ms = d.u64()?;
+            let n_jobs = d.count()?;
+            // Each job encodes to well over one byte, so a count beyond
+            // the remaining payload is damage — refuse before reserving.
+            if n_jobs > d.remaining() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "job count {n_jobs} exceeds the payload"
+                )));
+            }
+            let mut jobs = Vec::with_capacity(n_jobs);
+            for _ in 0..n_jobs {
+                let label = decode_str(&mut d)?;
+                let seed = d.u64()?;
+                let config = snapshot::decode_config(&mut d)?;
+                jobs.push(JobSpec {
+                    label,
+                    config,
+                    seed,
+                });
+            }
+            let prior_journal = decode_str(&mut d)?;
+            Msg::Assign(Box::new(Assign {
+                shard,
+                attempt,
+                grid_hash,
+                threads,
+                retries,
+                retry_backoff_s,
+                timeout_s,
+                sim_time_cap_s,
+                stall,
+                abort_after_ms,
+                jobs,
+                prior_journal,
+            }))
+        }
+        1 => Msg::Accept { shard: d.u64()? },
+        2 => Msg::Refuse {
+            reason: decode_str(&mut d)?,
+        },
+        3 => Msg::Heartbeat { counter: d.u64()? },
+        4 => Msg::JournalLines {
+            text: decode_str(&mut d)?,
+        },
+        5 => Msg::Done {
+            ok: d.bool()?,
+            error: decode_str(&mut d)?,
+        },
+        t => return Err(SnapshotError::Corrupt(format!("bad message tag {t}"))),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+/// The per-direction stream header (magic + version).
+pub fn header_bytes() -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12);
+    buf.extend_from_slice(&WIRE_MAGIC);
+    buf.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    buf
+}
+
+/// Frames one message: `len | payload | fnv1a(payload)`.
+pub fn frame(msg: &Msg) -> Vec<u8> {
+    let payload = encode_msg(msg);
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&snapshot::fnv1a(&payload).to_le_bytes());
+    out
+}
+
+/// How a decoded stream ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamTail {
+    /// Ends exactly at a frame boundary.
+    Clean,
+    /// Ends mid-frame — the signature of a connection severed mid-write.
+    Torn,
+    /// A frame that is definitely damaged (checksum, length bound, or
+    /// payload decode failure); everything before it remains valid.
+    Corrupt(String),
+}
+
+/// A decoded message stream: the longest valid prefix plus its tail.
+#[derive(Debug)]
+pub struct DecodedStream {
+    pub msgs: Vec<Msg>,
+    /// Byte offset just past each decoded frame.
+    pub ends: Vec<u64>,
+    pub tail: StreamTail,
+}
+
+/// One parser step over `bytes` (no header): either a complete decoded
+/// frame and its size, a request for more bytes, or definite damage.
+enum FrameStep {
+    /// `bytes` holds no complete frame yet (possibly zero bytes).
+    Need,
+    /// A decoded message and the total bytes it consumed.
+    Complete(Msg, usize),
+    Corrupt(String),
+}
+
+fn step(bytes: &[u8]) -> FrameStep {
+    if bytes.len() < 4 {
+        return FrameStep::Need;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return FrameStep::Corrupt(format!("frame length {len} exceeds the {MAX_FRAME} bound"));
+    }
+    if bytes.len() - 4 < len + 8 {
+        return FrameStep::Need;
+    }
+    let payload = &bytes[4..4 + len];
+    let stored = u64::from_le_bytes(bytes[4 + len..12 + len].try_into().unwrap());
+    if snapshot::fnv1a(payload) != stored {
+        return FrameStep::Corrupt(format!("frame fails its checksum (stored {stored:#018x})"));
+    }
+    match decode_msg(payload) {
+        Ok(msg) => FrameStep::Complete(msg, 12 + len),
+        Err(e) => FrameStep::Corrupt(format!("frame payload: {e}")),
+    }
+}
+
+/// Decodes a whole direction's bytes into the longest valid prefix.
+///
+/// Errors only for damage *before the first frame* (short, foreign, or
+/// future-versioned header) — there is no prefix to salvage then.
+/// Everything after the header degrades into [`DecodedStream::tail`].
+pub fn decode_stream(bytes: &[u8]) -> Result<DecodedStream, SnapshotError> {
+    if bytes.len() < WIRE_MAGIC.len() + 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..WIRE_MAGIC.len()] != WIRE_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+
+    let mut msgs = Vec::new();
+    let mut ends = Vec::new();
+    let mut pos = 12usize;
+    let tail = loop {
+        if pos == bytes.len() {
+            break StreamTail::Clean;
+        }
+        match step(&bytes[pos..]) {
+            FrameStep::Need => break StreamTail::Torn,
+            FrameStep::Complete(msg, used) => {
+                pos += used;
+                msgs.push(msg);
+                ends.push(pos as u64);
+            }
+            FrameStep::Corrupt(why) => {
+                break StreamTail::Corrupt(format!("frame at offset {pos}: {why}"))
+            }
+        }
+    };
+    Ok(DecodedStream { msgs, ends, tail })
+}
+
+/// Blocking frame reader for live sockets, built on the same [`step`]
+/// parser as [`decode_stream`]. `Ok(None)` means a clean EOF at a frame
+/// boundary; any torn/corrupt/IO condition is an `Err` with a reason —
+/// the caller maps it onto the dead-shard path, never a panic.
+pub(crate) struct MsgReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    pos: usize,
+    saw_header: bool,
+}
+
+impl<R: Read> MsgReader<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(8192),
+            pos: 0,
+            saw_header: false,
+        }
+    }
+
+    fn fill(&mut self) -> Result<usize, String> {
+        // Compact consumed bytes so the buffer stays bounded by one frame.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 8192];
+        let n = self
+            .inner
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    pub(crate) fn next_msg(&mut self) -> Result<Option<Msg>, String> {
+        loop {
+            if !self.saw_header {
+                if self.buf.len() - self.pos >= 12 {
+                    let head = &self.buf[self.pos..self.pos + 12];
+                    if head[..8] != WIRE_MAGIC {
+                        return Err("peer did not send the fabric header".into());
+                    }
+                    let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+                    if version != WIRE_VERSION {
+                        return Err(format!(
+                            "peer speaks fabric protocol v{version}, expected v{WIRE_VERSION}"
+                        ));
+                    }
+                    self.pos += 12;
+                    self.saw_header = true;
+                    continue;
+                }
+            } else {
+                match step(&self.buf[self.pos..]) {
+                    FrameStep::Complete(msg, used) => {
+                        self.pos += used;
+                        return Ok(Some(msg));
+                    }
+                    FrameStep::Corrupt(why) => return Err(format!("corrupt frame: {why}")),
+                    FrameStep::Need => {}
+                }
+            }
+            if self.fill()? == 0 {
+                return if self.saw_header && self.pos == self.buf.len() {
+                    Ok(None)
+                } else {
+                    Err("connection closed mid-frame".into())
+                };
+            }
+        }
+    }
+}
+
+/// Frame writer for live sockets: sends the header exactly once before
+/// the first frame, then one checksummed frame per message, flushing
+/// each so heartbeats are never sat on by a buffer.
+pub(crate) struct MsgWriter<W: Write> {
+    inner: W,
+    sent_header: bool,
+}
+
+impl<W: Write> MsgWriter<W> {
+    pub(crate) fn new(inner: W) -> Self {
+        Self {
+            inner,
+            sent_header: false,
+        }
+    }
+
+    pub(crate) fn send(&mut self, msg: &Msg) -> std::io::Result<()> {
+        if !self.sent_header {
+            self.inner.write_all(&header_bytes())?;
+            self.sent_header = true;
+        }
+        self.inner.write_all(&frame(msg))?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    fn sample_jobs() -> Vec<JobSpec> {
+        (0..3)
+            .map(|i| {
+                let mut cfg = SimConfig::small(0.25);
+                cfg.num_sensors = 10 + i;
+                JobSpec::new(format!("job-{i}"), &cfg, 40 + i as u64)
+            })
+            .collect()
+    }
+
+    fn sample_assign() -> Msg {
+        let jobs = sample_jobs();
+        Msg::Assign(Box::new(Assign {
+            shard: 2,
+            attempt: 1,
+            grid_hash: crate::journal::grid_hash(&jobs),
+            threads: 3,
+            retries: 4,
+            retry_backoff_s: 0.25,
+            timeout_s: -1.0,
+            sim_time_cap_s: 3600.0,
+            stall: false,
+            abort_after_ms: 0,
+            jobs,
+            prior_journal: "meta line\ndone line\n".into(),
+        }))
+    }
+
+    fn all_msgs() -> Vec<Msg> {
+        vec![
+            sample_assign(),
+            Msg::Accept { shard: 2 },
+            Msg::Refuse {
+                reason: "busy".into(),
+            },
+            Msg::Heartbeat { counter: 7 },
+            Msg::JournalLines {
+                text: "{\"kind\":\"done\"}\n".into(),
+            },
+            Msg::Done {
+                ok: false,
+                error: "agent runner panicked".into(),
+            },
+        ]
+    }
+
+    fn stream_of(msgs: &[Msg]) -> Vec<u8> {
+        let mut bytes = header_bytes();
+        for m in msgs {
+            bytes.extend_from_slice(&frame(m));
+        }
+        bytes
+    }
+
+    #[test]
+    fn every_message_round_trips_through_the_stream_codec() {
+        let msgs = all_msgs();
+        let bytes = stream_of(&msgs);
+        let decoded = decode_stream(&bytes).expect("decode");
+        assert_eq!(decoded.tail, StreamTail::Clean);
+        assert_eq!(decoded.msgs.len(), msgs.len());
+        for (got, want) in decoded.msgs.iter().zip(&msgs) {
+            assert_eq!(got.kind(), want.kind());
+            // Re-encoding must reproduce the exact payload bytes.
+            assert_eq!(encode_msg(got), encode_msg(want));
+        }
+    }
+
+    #[test]
+    fn assign_preserves_jobs_and_grid_hash() {
+        let bytes = stream_of(&[sample_assign()]);
+        let decoded = decode_stream(&bytes).expect("decode");
+        let Msg::Assign(a) = &decoded.msgs[0] else {
+            panic!("expected assign");
+        };
+        assert_eq!(a.jobs.len(), 3);
+        assert_eq!(a.jobs[1].label, "job-1");
+        assert_eq!(a.jobs[1].seed, 41);
+        assert_eq!(a.jobs[1].config.num_sensors, 11);
+        assert_eq!(crate::journal::grid_hash(&a.jobs), a.grid_hash);
+        assert_eq!(a.prior_journal, "meta line\ndone line\n");
+    }
+
+    #[test]
+    fn header_damage_is_a_hard_error() {
+        assert!(matches!(
+            decode_stream(b"WRSN"),
+            Err(SnapshotError::Truncated)
+        ));
+        let mut foreign = stream_of(&[Msg::Heartbeat { counter: 1 }]);
+        foreign[0] = b'X';
+        assert!(matches!(
+            decode_stream(&foreign),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut future = stream_of(&[]);
+        future[8] = 99;
+        assert!(matches!(
+            decode_stream(&future),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn msg_reader_walks_a_stream_and_reports_clean_eof() {
+        let msgs = all_msgs();
+        let bytes = stream_of(&msgs);
+        let mut reader = MsgReader::new(&bytes[..]);
+        for want in &msgs {
+            let got = reader.next_msg().expect("read").expect("msg");
+            assert_eq!(got.kind(), want.kind());
+        }
+        assert!(reader.next_msg().expect("eof").is_none());
+    }
+
+    #[test]
+    fn msg_reader_flags_torn_and_corrupt_streams() {
+        let bytes = stream_of(&[Msg::Heartbeat { counter: 1 }]);
+        // Torn mid-frame.
+        let mut reader = MsgReader::new(&bytes[..bytes.len() - 3]);
+        assert!(reader.next_msg().unwrap_err().contains("mid-frame"));
+        // Flipped payload bit (payload starts after the 12-byte header
+        // and the frame's 4-byte length).
+        let mut flipped = bytes.clone();
+        flipped[17] ^= 0x40;
+        let mut reader = MsgReader::new(&flipped[..]);
+        assert!(reader.next_msg().unwrap_err().contains("corrupt"));
+        // Foreign header.
+        let mut reader = MsgReader::new(&b"NOTAFAB!"[..]);
+        assert!(reader.next_msg().is_err());
+    }
+}

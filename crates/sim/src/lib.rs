@@ -34,6 +34,7 @@
 pub mod batch;
 mod config;
 mod engine;
+pub mod fabric;
 pub mod journal;
 pub mod render;
 mod request;

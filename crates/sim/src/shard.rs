@@ -17,7 +17,9 @@
 //! * **bounded retries with capped exponential backoff** — a crashed,
 //!   hung or chaos-killed shard is re-queued up to
 //!   [`ShardOptions::retries`] times, waiting
-//!   `min(backoff_cap, backoff · 2^attempt)` before each respawn;
+//!   `min(backoff_cap, backoff · 2^attempt)` plus a deterministic seeded
+//!   jitter before each respawn (so a mass requeue never relaunches every
+//!   shard in the same instant);
 //! * **backpressure** — at most [`ShardOptions::max_inflight`] worker
 //!   processes run concurrently (the fairy-style RAM barrier: a 64-shard
 //!   grid on an 8-core box keeps 8 workers alive, not 64), and each
@@ -40,8 +42,15 @@
 //! the `Vec<Result<SimOutcome, JobPanic>>` that
 //! [`crate::batch::run_supervised`] would, so a sharded sweep's CSV is
 //! byte-identical (`cmp`-equal) to the single-process run's.
+//!
+//! The *transport* behind each shard attempt is pluggable
+//! (DESIGN.md §4i, [`crate::fabric`]): [`ShardOptions::agents`] swaps the
+//! local re-exec for TCP assignments to `wrsn agent` daemons, whose
+//! streamed journals land in the same per-shard files this module
+//! resumes and merges.
 
 use crate::batch::{run_supervised, JobPanic, JobSpec, SupervisorOptions};
+use crate::fabric::{LaunchSpec, Launcher, LocalExec, TcpAgentPool, WorkerHandle};
 use crate::journal::{self, grid_hash, Journal, JournalError};
 use crate::SimOutcome;
 use rand::rngs::StdRng;
@@ -49,7 +58,7 @@ use rand::{Rng as _, SeedableRng as _};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command, ExitStatus, Stdio};
+use std::process::ExitStatus;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -103,6 +112,17 @@ pub struct ShardOptions {
     pub chaos_workers: f64,
     /// Seed for the deterministic chaos decisions.
     pub chaos_seed: u64,
+    /// `wrsn agent` addresses (`host:port`) to distribute shards over.
+    /// Empty means the local re-exec transport ([`crate::fabric::LocalExec`],
+    /// PR 7 behavior). An absent or refusing agent degrades the affected
+    /// shard to local execution with a warning; a link that dies mid-shard
+    /// takes the ordinary requeue path.
+    pub agents: Vec<String>,
+    /// Probability that an agent assignment is network-chaos-faulted
+    /// (torn frames, delays, one-way partitions, stalled or severed
+    /// agents). Like `chaos_workers`, only a shard's first two attempts
+    /// can be faulted. `0.0` disables it; ignored without `agents`.
+    pub chaos_net: f64,
 }
 
 impl Default for ShardOptions {
@@ -117,6 +137,8 @@ impl Default for ShardOptions {
             shard_timeout: None,
             chaos_workers: 0.0,
             chaos_seed: 0,
+            agents: Vec::new(),
+            chaos_net: 0.0,
         }
     }
 }
@@ -464,11 +486,12 @@ struct Pending {
     ready: Instant,
 }
 
-/// One live worker process under supervision.
+/// One live shard attempt under supervision, behind whichever transport
+/// launched it.
 struct Slot {
     shard: usize,
     attempt: u32,
-    child: Child,
+    handle: Box<dyn WorkerHandle>,
     started: Instant,
     /// Last observed lease content and when it last changed.
     lease: String,
@@ -486,51 +509,17 @@ fn available_parallelism() -> usize {
         .unwrap_or(4)
 }
 
-fn backoff_for(opts: &ShardOptions, attempt: u32) -> Duration {
+/// Backoff before a shard's `attempt`-th respawn: capped exponential plus
+/// a deterministic seeded jitter in `[0, base/2)`, so a mass requeue —
+/// every shard dying at once when a partition heals — spreads its
+/// relaunches instead of thundering back in the same instant.
+fn backoff_for(opts: &ShardOptions, shard: usize, attempt: u32) -> Duration {
     let factor = 1u32 << attempt.min(16);
-    (opts.backoff * factor).min(opts.backoff_cap)
-}
-
-fn spawn_worker(
-    dir: &Path,
-    shard: usize,
-    attempt: u32,
-    threads: usize,
-    chaos: Option<Chaos>,
-) -> Result<Slot, ShardError> {
-    let exe = std::env::current_exe()?;
-    let mut cmd = Command::new(exe);
-    cmd.args(std::env::args().skip(1))
-        .env(WORKER_ENV, shard.to_string())
-        .env(DIR_ENV, dir)
-        .env(THREADS_ENV, threads.to_string())
-        .env_remove(CHAOS_ENV)
-        .stdin(Stdio::null())
-        // Workers must not interleave with the coordinator's stdout
-        // tables; their stderr (warnings, give-up reports) passes through.
-        .stdout(Stdio::null());
-    let mut kill_at = None;
-    match chaos {
-        Some(Chaos::Kill(delay)) => kill_at = Some(Instant::now() + delay),
-        Some(Chaos::Stall) => {
-            cmd.env(CHAOS_ENV, "stall");
-        }
-        None => {}
-    }
-    let child = cmd
-        .spawn()
-        .map_err(|e| ShardError::Spawn(format!("shard {shard}: {e}")))?;
-    let now = Instant::now();
-    Ok(Slot {
-        shard,
-        attempt,
-        child,
-        started: now,
-        lease: String::new(),
-        lease_changed: now,
-        kill_at,
-        kill_reason: None,
-    })
+    let base = (opts.backoff * factor).min(opts.backoff_cap);
+    let mut rng = StdRng::seed_from_u64(
+        opts.chaos_seed ^ 0x9e37_79b9_7f4a_7c15 ^ ((shard as u64) << 32) ^ attempt as u64,
+    );
+    base + base.mul_f64(0.5 * rng.gen_range(0.0..1.0))
 }
 
 /// Records one failed attempt: re-queue with backoff while the retry
@@ -544,7 +533,7 @@ fn attempt_failed(
     reason: String,
 ) {
     if attempt < opts.retries {
-        let delay = backoff_for(opts, attempt);
+        let delay = backoff_for(opts, shard, attempt);
         eprintln!(
             "warning: shard {shard} attempt {} failed ({reason}); respawning in {:.1} s",
             attempt + 1,
@@ -564,7 +553,7 @@ fn attempt_failed(
 
 fn coordinate(
     jobs: &[JobSpec],
-    _sup: &SupervisorOptions,
+    sup: &SupervisorOptions,
     dir: &Path,
     opts: &ShardOptions,
     resume: bool,
@@ -593,6 +582,21 @@ fn coordinate(
         opts.max_inflight.max(1)
     };
     let threads_per_worker = (available_parallelism() / inflight).max(1);
+
+    // The transport is pluggable (DESIGN.md §4i): without agents this is
+    // PR 7's local re-exec, byte-identically; with agents, shards are
+    // distributed over the pool and every network failure mode funnels
+    // back into the same poll/lease surface supervised below.
+    let mut launcher: Box<dyn Launcher> = if opts.agents.is_empty() {
+        Box::new(LocalExec)
+    } else {
+        Box::new(TcpAgentPool::new(
+            opts.agents.clone(),
+            opts.chaos_net,
+            opts.chaos_seed,
+            hash,
+        ))
+    };
 
     let mut queue: VecDeque<Pending> = (0..shards)
         .map(|shard| Pending {
@@ -628,15 +632,38 @@ fn coordinate(
                     }
                 );
             }
-            match spawn_worker(dir, p.shard, p.attempt, threads_per_worker, chaos) {
-                Ok(slot) => running.push(slot),
+            let (lo, hi) = ranges[p.shard];
+            let spec = LaunchSpec {
+                dir,
+                shard: p.shard,
+                attempt: p.attempt,
+                threads: threads_per_worker,
+                stall: matches!(chaos, Some(Chaos::Stall)),
+                jobs: &jobs[lo..hi],
+                sup,
+            };
+            match launcher.launch(&spec) {
+                Ok(handle) => {
+                    let now = Instant::now();
+                    running.push(Slot {
+                        shard: p.shard,
+                        attempt: p.attempt,
+                        handle,
+                        started: now,
+                        lease: String::new(),
+                        lease_changed: now,
+                        kill_at: match chaos {
+                            Some(Chaos::Kill(delay)) => Some(now + delay),
+                            _ => None,
+                        },
+                        kill_reason: None,
+                    });
+                }
                 Err(e) => {
                     // Reap every live worker before surfacing the error —
-                    // a failed coordinator must not leak processes.
-                    for slot in running.iter_mut() {
-                        let _ = slot.child.kill();
-                        let _ = slot.child.wait();
-                    }
+                    // a failed coordinator must not leak processes; the
+                    // handles' Drop impls kill and join their workers.
+                    drop(running);
                     return Err(e);
                 }
             }
@@ -646,14 +673,25 @@ fn coordinate(
         while i < running.len() {
             let now = Instant::now();
             let slot = &mut running[i];
-            match slot.child.try_wait() {
-                Ok(Some(status)) => {
-                    let slot = running.swap_remove(i);
-                    if status.success() && slot.kill_reason.is_none() {
+            match slot.handle.poll() {
+                Some(verdict) => {
+                    let mut slot = running.swap_remove(i);
+                    if verdict.is_ok() && slot.kill_reason.is_none() {
                         completed += 1;
                         eprintln!("shard {} complete ({completed}/{shards})", slot.shard);
                     } else {
-                        let reason = slot.kill_reason.unwrap_or_else(|| describe_exit(&status));
+                        // A coordinator-initiated kill explains the death
+                        // better than the raw exit/link status it caused.
+                        let mut reason = slot.kill_reason.take().unwrap_or_else(|| {
+                            verdict.err().unwrap_or_else(|| {
+                                "worker finished after the coordinator killed it".into()
+                            })
+                        });
+                        let tail = slot.handle.stderr_tail();
+                        if !tail.is_empty() {
+                            reason.push_str("; last stderr: ");
+                            reason.push_str(&tail);
+                        }
                         attempt_failed(
                             opts,
                             &mut queue,
@@ -665,12 +703,12 @@ fn coordinate(
                     }
                     continue;
                 }
-                Ok(None) => {
+                None => {
                     // Chaos kill due?
                     if let Some(t) = slot.kill_at {
                         if now >= t {
                             slot.kill_reason = Some("chaos-injected SIGKILL mid-shard".to_string());
-                            let _ = slot.child.kill();
+                            slot.handle.kill();
                             slot.kill_at = None;
                         }
                     }
@@ -682,16 +720,15 @@ fn coordinate(
                                     "exceeded the shard watchdog ({:.1} s of wall clock)",
                                     budget.as_secs_f64()
                                 ));
-                                let _ = slot.child.kill();
+                                slot.handle.kill();
                             }
                         }
                     }
                     // Lease staleness: a worker that stopped heartbeating
-                    // (hung, SIGSTOPped, livelocked) is reaped.
+                    // (hung, SIGSTOPped, livelocked, or behind a network
+                    // partition) is reaped.
                     if slot.kill_reason.is_none() {
-                        let lease =
-                            std::fs::read_to_string(shard_dir(dir, slot.shard).join(LEASE_FILE))
-                                .unwrap_or_default();
+                        let lease = slot.handle.lease();
                         if lease != slot.lease {
                             slot.lease = lease;
                             slot.lease_changed = now;
@@ -700,22 +737,10 @@ fn coordinate(
                                 "hung: lease stale for {:.1} s",
                                 now.duration_since(slot.lease_changed).as_secs_f64()
                             ));
-                            let _ = slot.child.kill();
+                            slot.handle.kill();
                         }
                     }
                     i += 1;
-                }
-                Err(e) => {
-                    let slot = running.swap_remove(i);
-                    attempt_failed(
-                        opts,
-                        &mut queue,
-                        &mut dead,
-                        slot.shard,
-                        slot.attempt,
-                        format!("wait failed: {e}"),
-                    );
-                    continue;
                 }
             }
         }
@@ -814,6 +839,7 @@ fn write_merged_journal(
 mod tests {
     use super::*;
     use crate::SimConfig;
+    use std::process::Command;
 
     fn tiny_cfg() -> SimConfig {
         let mut cfg = SimConfig::small(0.1);
@@ -898,6 +924,43 @@ mod tests {
         }
         let off = ShardOptions::default();
         assert!(chaos_plan(&off, 0xabc, 0, 0).is_none());
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_spread() {
+        let opts = ShardOptions::default();
+        let mut distinct = std::collections::HashSet::new();
+        for shard in 0..8usize {
+            for attempt in 0..6u32 {
+                let d = backoff_for(&opts, shard, attempt);
+                assert_eq!(d, backoff_for(&opts, shard, attempt), "deterministic");
+                let base = (opts.backoff * (1u32 << attempt.min(16))).min(opts.backoff_cap);
+                assert!(d >= base, "jitter only adds delay: {d:?} < {base:?}");
+                assert!(
+                    d <= base + base.mul_f64(0.5),
+                    "jitter bounded by base/2: {d:?}"
+                );
+            }
+            distinct.insert(backoff_for(&opts, shard, 1));
+        }
+        // Anti-thundering-herd: eight shards requeued together must not
+        // share a relaunch instant.
+        assert!(distinct.len() >= 6, "spread too narrow: {distinct:?}");
+        // Pin the schedule: the jitter is part of the deterministic-resume
+        // contract, so a drift in the RNG or the seeding formula must fail
+        // loudly, not silently reshuffle relaunch timing.
+        for (shard, attempt, nanos) in [
+            (0usize, 0u32, 234_744_736u64),
+            (0, 1, 541_191_719),
+            (1, 1, 572_725_647),
+            (7, 3, 1_643_718_577),
+        ] {
+            assert_eq!(
+                backoff_for(&opts, shard, attempt),
+                Duration::from_nanos(nanos),
+                "pinned jitter drifted for shard {shard} attempt {attempt}"
+            );
+        }
     }
 
     #[test]

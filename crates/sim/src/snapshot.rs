@@ -354,7 +354,7 @@ fn scheduler_from_tag(tag: u8) -> Result<wrsn_core::SchedulerKind> {
     })
 }
 
-fn encode_config(e: &mut Enc, cfg: &SimConfig) {
+pub(crate) fn encode_config(e: &mut Enc, cfg: &SimConfig) {
     e.len(cfg.num_sensors);
     e.len(cfg.num_targets);
     e.len(cfg.num_rvs);
@@ -423,7 +423,7 @@ fn encode_config(e: &mut Enc, cfg: &SimConfig) {
     e.f64(cfg.duration_days);
 }
 
-fn decode_config(d: &mut Dec) -> Result<SimConfig> {
+pub(crate) fn decode_config(d: &mut Dec) -> Result<SimConfig> {
     Ok(SimConfig {
         num_sensors: d.len()?,
         num_targets: d.len()?,

@@ -1,0 +1,240 @@
+//! Corruption fuzzing for the fabric wire codec, mirroring the store's
+//! log fuzz suite: whatever bytes arrive on the socket — truncation at
+//! any offset, random bit flips, interleaved partial frames, foreign
+//! streams — the decoder must never panic, must flag the damage, and
+//! must keep the longest valid frame prefix usable.
+
+use wrsn_sim::batch::JobSpec;
+use wrsn_sim::fabric::wire::{
+    decode_stream, frame, header_bytes, Assign, Msg, StreamTail, WIRE_MAGIC,
+};
+use wrsn_sim::journal::grid_hash;
+use wrsn_sim::snapshot::SnapshotError;
+use wrsn_sim::SimConfig;
+
+/// Tiny deterministic RNG so the fuzz positions are reproducible.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A realistic two-way conversation worth of messages, including a full
+/// `Assign` (the largest, deepest-nested frame the protocol has).
+fn sample_msgs() -> Vec<Msg> {
+    let jobs: Vec<JobSpec> = (0..3)
+        .map(|i| {
+            let mut cfg = SimConfig::small(0.25);
+            cfg.num_sensors = 12 + i;
+            JobSpec::new(format!("fuzz-job-{i}"), &cfg, 90 + i as u64)
+        })
+        .collect();
+    let hash = grid_hash(&jobs);
+    vec![
+        Msg::Assign(Box::new(Assign {
+            shard: 3,
+            attempt: 1,
+            grid_hash: hash,
+            threads: 2,
+            retries: 3,
+            retry_backoff_s: 0.2,
+            timeout_s: -1.0,
+            sim_time_cap_s: 7200.0,
+            stall: false,
+            abort_after_ms: 0,
+            jobs,
+            prior_journal: "meta {\"v\":1}\ndone {\"index\":0}\n".into(),
+        })),
+        Msg::Accept { shard: 3 },
+        Msg::Heartbeat { counter: 1 },
+        Msg::JournalLines {
+            text: "done {\"index\":1}\n".into(),
+        },
+        Msg::Heartbeat { counter: 2 },
+        Msg::Done {
+            ok: true,
+            error: String::new(),
+        },
+    ]
+}
+
+fn stream_of(msgs: &[Msg]) -> Vec<u8> {
+    let mut bytes = header_bytes();
+    for msg in msgs {
+        bytes.extend_from_slice(&frame(msg));
+    }
+    bytes
+}
+
+fn kinds(msgs: &[Msg]) -> Vec<&'static str> {
+    msgs.iter().map(Msg::kind).collect()
+}
+
+#[test]
+fn truncation_at_every_byte_never_panics_and_keeps_a_prefix() {
+    let msgs = sample_msgs();
+    let bytes = stream_of(&msgs);
+    let full = decode_stream(&bytes).expect("full decode");
+    assert_eq!(full.tail, StreamTail::Clean);
+    assert_eq!(kinds(&full.msgs), kinds(&msgs));
+
+    for cut in 0..bytes.len() {
+        match decode_stream(&bytes[..cut]) {
+            Ok(decoded) => {
+                assert!(cut >= 12, "a cut inside the header must hard-error");
+                // Any successful decode is a frame prefix of the full
+                // stream — never reordered, never invented.
+                assert!(decoded.msgs.len() <= full.msgs.len());
+                assert_eq!(
+                    kinds(&decoded.msgs),
+                    kinds(&msgs[..decoded.msgs.len()]),
+                    "cut at {cut} is not a prefix"
+                );
+                assert_eq!(decoded.ends, full.ends[..decoded.ends.len()]);
+                // Pure truncation is always recognizably clean or torn:
+                // a cut on a frame boundary is clean, anywhere else torn.
+                let on_boundary =
+                    cut == 12 || decoded.ends.last().is_some_and(|&e| e == cut as u64);
+                match decoded.tail {
+                    StreamTail::Clean => assert!(on_boundary, "cut at {cut} claims clean"),
+                    StreamTail::Torn => assert!(!on_boundary, "cut at {cut} claims torn"),
+                    StreamTail::Corrupt(why) => {
+                        panic!("cut at {cut} misread truncation as corruption: {why}")
+                    }
+                }
+            }
+            Err(e) => {
+                assert!(cut < 12, "cut at {cut} hard-errored past the header: {e:?}");
+                assert!(matches!(e, SnapshotError::Truncated));
+            }
+        }
+    }
+}
+
+#[test]
+fn random_bit_flips_are_detected_never_panic_and_keep_the_intact_prefix() {
+    let msgs = sample_msgs();
+    let bytes = stream_of(&msgs);
+    let full = decode_stream(&bytes).expect("full decode");
+    let mut rng = XorShift(0x5eed_fab0);
+
+    for _ in 0..500 {
+        let mut damaged = bytes.clone();
+        let pos = rng.below(damaged.len());
+        damaged[pos] ^= 1 << rng.below(8);
+
+        match decode_stream(&damaged) {
+            Ok(decoded) => {
+                assert!(pos >= 12, "header flip at {pos} must hard-error");
+                // Frames that end at or before the flipped byte are
+                // untouched and must still decode identically.
+                let intact = full.ends.iter().filter(|&&e| e <= pos as u64).count();
+                assert!(
+                    decoded.msgs.len() >= intact,
+                    "flip at {pos} lost intact frames: {} < {intact}",
+                    decoded.msgs.len()
+                );
+                assert_eq!(
+                    kinds(&decoded.msgs[..intact]),
+                    kinds(&msgs[..intact]),
+                    "flip at {pos} corrupted frames before the damage"
+                );
+                // The damaged frame itself cannot sneak through: either
+                // the checksum catches it (corrupt), a length flip runs
+                // past the end (torn), or the flip hit the final
+                // checksum bytes of the last frame.
+                if decoded.tail == StreamTail::Clean {
+                    assert_eq!(
+                        decoded.msgs.len(),
+                        intact,
+                        "flip at {pos} decoded clean without dropping the damaged frame"
+                    );
+                }
+            }
+            Err(e) => {
+                assert!(
+                    pos < 12,
+                    "flip at {pos} hard-errored past the header: {e:?}"
+                );
+                assert!(matches!(
+                    e,
+                    SnapshotError::BadMagic | SnapshotError::UnsupportedVersion(_)
+                ));
+            }
+        }
+    }
+}
+
+/// A socket reader sees the stream grow in arbitrary chunks; every
+/// prefix must decode to a monotonically growing frame prefix (partial
+/// frames held back, complete ones released — no rollback, no
+/// reordering, no spurious corruption).
+#[test]
+fn interleaved_partial_frames_decode_monotonically() {
+    let msgs = sample_msgs();
+    let bytes = stream_of(&msgs);
+    let mut rng = XorShift(0xfeed_beef);
+
+    for _trial in 0..50 {
+        let mut have = 12usize; // the header always arrives first
+        let mut last = 0usize;
+        while have < bytes.len() {
+            have = (have + 1 + rng.below(97)).min(bytes.len());
+            let decoded = decode_stream(&bytes[..have]).expect("header is intact");
+            assert!(
+                decoded.msgs.len() >= last,
+                "a longer prefix decoded fewer frames ({} < {last})",
+                decoded.msgs.len()
+            );
+            assert_eq!(kinds(&decoded.msgs), kinds(&msgs[..decoded.msgs.len()]));
+            assert!(
+                !matches!(decoded.tail, StreamTail::Corrupt(_)),
+                "partial delivery misread as corruption at {have} bytes"
+            );
+            last = decoded.msgs.len();
+        }
+        assert_eq!(last, msgs.len(), "the complete stream must fully decode");
+    }
+}
+
+#[test]
+fn foreign_streams_and_garbage_tails_are_flagged_not_panicked() {
+    // A foreign protocol on our port.
+    let err = decode_stream(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap_err();
+    assert!(matches!(err, SnapshotError::BadMagic));
+
+    // Our magic, absurd version.
+    let mut future = header_bytes();
+    future[8..12].copy_from_slice(&9000u32.to_le_bytes());
+    assert!(matches!(
+        decode_stream(&future),
+        Err(SnapshotError::UnsupportedVersion(9000))
+    ));
+
+    // A valid frame followed by pure noise: the frame survives, the
+    // noise is flagged (as corruption or a torn tail, depending on what
+    // the noise's length field claims) and never panics.
+    let mut rng = XorShift(WIRE_MAGIC.len() as u64 ^ 0xdead_0001);
+    for _ in 0..100 {
+        let mut bytes = stream_of(&[Msg::Heartbeat { counter: 9 }]);
+        let boundary = bytes.len();
+        for _ in 0..40 {
+            bytes.push(rng.next() as u8);
+        }
+        let decoded = decode_stream(&bytes).expect("header intact");
+        assert_eq!(kinds(&decoded.msgs), ["heartbeat"]);
+        assert_eq!(decoded.ends, vec![boundary as u64]);
+        assert_ne!(
+            decoded.tail,
+            StreamTail::Clean,
+            "noise tail must be flagged"
+        );
+    }
+}
