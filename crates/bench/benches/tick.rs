@@ -1,43 +1,128 @@
-//! Tick-scaling benchmark for the SoA + event-incremental routing
-//! engine: one full `World::step` at 100 / 1k / 10k / 100k sensors
-//! (constant density, so per-sensor work is the honest unit), next to
-//! the naive wholesale routing pipeline priced at the same scales.
+//! Tick-scaling benchmark for the event-proportional engine: one full
+//! `World::step` at 100 / 1k / 10k / 100k sensors (constant density, so
+//! per-sensor work is the honest unit), next to the naive wholesale
+//! routing pipeline priced at the same scales — plus the million-sensor
+//! variants behind `WRSN_BENCH_1M=1`.
 //!
-//! * `step` — one engine tick on a warmed mid-run world. With the
-//!   dirty-set routing repair this should cost a flat number of ns per
-//!   sensor across the whole range; the pre-SoA engine grew superlinear
-//!   here (851 ns/sensor at 10k vs 118 at 1k, `BENCH_coverage.json`).
+//! * `step` — one engine tick on a warmed mid-run world with mixed
+//!   battery health (deaths, requests, revivals). With the SoC crossing
+//!   heap + chunked drain + dirty-set routing this costs event- rather
+//!   than population-proportional time.
 //! * `naive_refresh` — the historical per-refresh pipeline: a
 //!   from-scratch canonical Dijkstra rebuild + full relay-load fold +
 //!   wholesale activity recompute, via [`World::verify_routing`]. The
 //!   audit *asserts* the maintained tree equals that naive recompute
 //!   before returning, so a divergence fails this bench outright — the
-//!   `--test` run in CI's bench-smoke job is the release-profile
-//!   divergence gate.
+//!   `--test` run in CI's bench-smoke / tick-scale-smoke jobs is the
+//!   release-profile divergence gate.
+//! * `step_quiescent` — one tick on a healthy (90–100 % SoC) world at
+//!   100k and (env-gated) 1M sensors: nothing crosses, nothing dies, so
+//!   this prices the pure per-tick floor. Sublinear growth between 100k
+//!   and 1M is the headline claim in `results/BENCH_tick.json`.
+//! * `step_waypoint` — the quiescent world under continuous
+//!   random-waypoint target motion (incremental cluster repair on the
+//!   hot path instead of the rare teleport rebuild).
 //!
+//! Setting `WRSN_TICK_PHASES=1` additionally prints a per-phase
+//! breakdown (via [`World::step_timed`]) before the criterion run.
 //! `results/BENCH_tick.json` snapshots a run of this bench; refresh it
-//! with `cargo bench -p wrsn-bench --bench tick`.
+//! with `WRSN_BENCH_1M=1 WRSN_TICK_PHASES=1 cargo bench -p wrsn-bench
+//! --bench tick`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use wrsn_sim::{SimConfig, World};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use wrsn_sim::{SimConfig, StepTimings, TargetMobility, World};
 
 /// A field at the seed tests' sensor density (60 sensors on a 60 m
 /// square) scaled to `sensors`, with a capped target count so the
 /// clustering stage stays comparable across scales.
-fn scaled_world(sensors: usize) -> World {
+fn scaled_cfg(sensors: usize) -> SimConfig {
     let mut cfg = SimConfig::small(1.0);
     cfg.num_sensors = sensors;
     cfg.num_targets = (sensors / 20).clamp(1, 20);
     cfg.num_rvs = 2;
     cfg.field_side = 60.0 * (sensors as f64 / 60.0).sqrt();
-    cfg.initial_soc = (0.1, 1.0); // mixed health: deaths, requests, revivals
-    let mut w = World::new(&cfg, 42);
-    // Step past a few slot boundaries so rotas, deaths and the routing
-    // dirty-set look like a mid-run world rather than a freshly built one.
+    cfg
+}
+
+/// Steps past a few slot boundaries so rotas, deaths and the dirty sets
+/// look like a mid-run world rather than a freshly built one.
+fn warmed(cfg: &SimConfig) -> World {
+    let mut w = World::new(cfg, 42);
     for _ in 0..30 {
         w.step();
     }
     w
+}
+
+fn scaled_world(sensors: usize) -> World {
+    let mut cfg = scaled_cfg(sensors);
+    cfg.initial_soc = (0.1, 1.0); // mixed health: deaths, requests, revivals
+    warmed(&cfg)
+}
+
+/// Healthy fleet-free steady state: no crossings, no deaths, no routes —
+/// the quiescent-tick floor the crossing heap is supposed to expose.
+fn quiescent_world(sensors: usize) -> World {
+    let mut cfg = scaled_cfg(sensors);
+    cfg.initial_soc = (0.9, 1.0);
+    warmed(&cfg)
+}
+
+/// Quiescent world under continuous random-waypoint target motion:
+/// cluster maintenance runs incremental repair instead of waiting for
+/// the teleport period.
+fn waypoint_world(sensors: usize) -> World {
+    let mut cfg = scaled_cfg(sensors);
+    cfg.initial_soc = (0.9, 1.0);
+    cfg.target_mobility = TargetMobility::RandomWaypoint { speed_mps: 0.5 };
+    warmed(&cfg)
+}
+
+/// Million-sensor points are opt-in: they dominate wall-clock time.
+fn million_enabled() -> bool {
+    std::env::var_os("WRSN_BENCH_1M").is_some_and(|v| v != "0")
+}
+
+/// `WRSN_TICK_PHASES=1`: prints the mean per-phase ns over `ticks`
+/// timed steps of each quiescent world, for `results/BENCH_tick.json`'s
+/// phase breakdown.
+fn print_phase_breakdown() {
+    if std::env::var_os("WRSN_TICK_PHASES").is_none() {
+        return;
+    }
+    let mut sizes = vec![10_000usize, 100_000];
+    if million_enabled() {
+        sizes.push(1_000_000);
+    }
+    for sensors in sizes {
+        let mut w = quiescent_world(sensors);
+        let ticks = 50u64;
+        let mut sum = StepTimings::default();
+        for _ in 0..ticks {
+            let t = w.step_timed();
+            sum.mobility_ns += t.mobility_ns;
+            sum.activity_ns += t.activity_ns;
+            sum.faults_ns += t.faults_ns;
+            sum.routing_ns += t.routing_ns;
+            sum.drain_ns += t.drain_ns;
+            sum.dispatch_ns += t.dispatch_ns;
+            sum.fleet_ns += t.fleet_ns;
+            sum.sample_ns += t.sample_ns;
+        }
+        eprintln!(
+            "tick-phases sensors={sensors} ticks={ticks} mean_ns: mobility={} activity={} \
+             faults={} routing={} drain={} dispatch={} fleet={} sample={} total={}",
+            sum.mobility_ns / ticks,
+            sum.activity_ns / ticks,
+            sum.faults_ns / ticks,
+            sum.routing_ns / ticks,
+            sum.drain_ns / ticks,
+            sum.dispatch_ns / ticks,
+            sum.fleet_ns / ticks,
+            sum.sample_ns / ticks,
+            sum.total_ns() / ticks
+        );
+    }
 }
 
 fn bench_tick(c: &mut Criterion) {
@@ -66,8 +151,52 @@ fn bench_tick(c: &mut Criterion) {
             },
         );
     }
+
+    let mut quiescent_sizes = vec![100_000usize];
+    let mut waypoint_sizes = vec![10_000usize, 100_000];
+    if million_enabled() {
+        quiescent_sizes.push(1_000_000);
+        waypoint_sizes.push(1_000_000);
+    }
+    for &sensors in &quiescent_sizes {
+        let mut stepping = quiescent_world(sensors);
+        group.bench_with_input(
+            BenchmarkId::new("step_quiescent", sensors),
+            &(),
+            |b, _unit: &()| {
+                b.iter(|| {
+                    stepping.step();
+                    black_box(stepping.time())
+                })
+            },
+        );
+        // Release-profile gate for the 1M config: the maintained tree
+        // must still verify bitwise against the naive oracle at scale.
+        stepping
+            .verify_routing()
+            .expect("incremental routing diverged from the naive oracle at scale");
+    }
+    for &sensors in &waypoint_sizes {
+        let mut stepping = waypoint_world(sensors);
+        group.bench_with_input(
+            BenchmarkId::new("step_waypoint", sensors),
+            &(),
+            |b, _unit: &()| {
+                b.iter(|| {
+                    stepping.step();
+                    black_box(stepping.time())
+                })
+            },
+        );
+    }
     group.finish();
 }
 
 criterion_group!(benches, bench_tick);
-criterion_main!(benches);
+
+fn main() {
+    print_phase_breakdown();
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    c.final_summary();
+}

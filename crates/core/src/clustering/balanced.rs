@@ -22,10 +22,19 @@ use crate::TargetId;
 /// be monitored at all); callers can list them via
 /// [`CoverageMap::uncovered_targets`].
 pub fn balanced_clusters(coverage: &CoverageMap) -> ClusterSet {
+    balanced_clusters_with(coverage, coverage.covering_sensors())
+}
+
+/// [`balanced_clusters`] with the set `A` supplied by the caller — for
+/// callers that maintain the covering-sensor set incrementally (e.g. the
+/// simulator's event-driven cluster repair) instead of paying the O(n)
+/// [`CoverageMap::covering_sensors`] scan per rebuild. `a` may arrive in
+/// any order; the `(load, id)` sort key is a total order, so the result is
+/// identical to passing `covering_sensors()`.
+pub fn balanced_clusters_with(coverage: &CoverageMap, mut a: Vec<crate::SensorId>) -> ClusterSet {
     let m = coverage.num_targets();
 
     // Phase 1: A sorted ascending by load, ties by id.
-    let mut a = coverage.covering_sensors();
     a.sort_by_key(|&s| (coverage.load(s), s));
 
     // Phase 2.

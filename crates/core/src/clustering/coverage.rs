@@ -101,6 +101,72 @@ impl CoverageMap {
             .filter(|&t| self.candidates(t).is_empty())
             .collect()
     }
+
+    /// The grid index [`CoverageMap::build`] queries — exposed so callers
+    /// that keep a map up to date through [`CoverageMap::retarget`] build
+    /// their persistent index with the identical cell size.
+    pub fn grid_for(sensors: &[Point2], sensing_range: f64) -> GridIndex {
+        GridIndex::build(sensors, sensing_range.max(1e-6))
+    }
+
+    /// Recomputes target `j`'s candidate set after it moved to `pos`,
+    /// patching the affected sensors' `detects` lists in place. The result
+    /// is *identical* to a fresh [`CoverageMap::build`] at the new target
+    /// positions: candidate sets stay sorted ascending, and each sensor's
+    /// detect list stays sorted by target id.
+    ///
+    /// `grid` must index the same (immutable) sensor positions the map was
+    /// built over — use [`CoverageMap::grid_for`]. `on_load_change(s, old,
+    /// new)` fires for every sensor whose load changed, letting callers
+    /// maintain the covering-sensor set `A` incrementally.
+    pub fn retarget<F>(
+        &mut self,
+        j: TargetId,
+        grid: &GridIndex,
+        pos: Point2,
+        sensing_range: f64,
+        mut on_load_change: F,
+    ) where
+        F: FnMut(SensorId, usize, usize),
+    {
+        let mut new: Vec<SensorId> = grid
+            .within(pos, sensing_range)
+            .into_iter()
+            .map(SensorId::from)
+            .collect();
+        new.sort_unstable();
+        let old = std::mem::take(&mut self.candidates[j.index()]);
+        // Diff the two sorted candidate sets.
+        let (mut oi, mut ni) = (0, 0);
+        while oi < old.len() || ni < new.len() {
+            let take_old = ni >= new.len() || (oi < old.len() && old[oi] < new[ni]);
+            let take_new = oi >= old.len() || (ni < new.len() && new[ni] < old[oi]);
+            if take_old {
+                // Sensor left range: drop `j` from its detect list.
+                let s = old[oi];
+                oi += 1;
+                let d = &mut self.detects[s.index()];
+                let pos = d.binary_search(&j).expect("detect list out of sync");
+                d.remove(pos);
+                let len = d.len();
+                on_load_change(s, len + 1, len);
+            } else if take_new {
+                // Sensor entered range: insert `j` keeping the list sorted.
+                let s = new[ni];
+                ni += 1;
+                let d = &mut self.detects[s.index()];
+                let pos = d.binary_search(&j).expect_err("detect list out of sync");
+                d.insert(pos, j);
+                let len = d.len();
+                on_load_change(s, len - 1, len);
+            } else {
+                // Present in both: unchanged.
+                oi += 1;
+                ni += 1;
+            }
+        }
+        self.candidates[j.index()] = new;
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +222,56 @@ mod tests {
         let targets = [Point2::new(0.0, 1.0), Point2::new(100.0, 100.0)];
         let m = CoverageMap::build(&sensors, &targets, 5.0);
         assert_eq!(m.uncovered_targets(), vec![TargetId(1)]);
+    }
+
+    #[test]
+    fn retarget_matches_fresh_build_exactly() {
+        let sensors = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(50.0, 50.0),
+        ];
+        let mut targets = vec![Point2::new(0.5, 0.0), Point2::new(9.5, 0.0)];
+        let range = 5.0;
+        let mut live = CoverageMap::build(&sensors, &targets, range);
+        let grid = CoverageMap::grid_for(&sensors, range);
+        // Walk target 0 across the field, target 1 out of everyone's range,
+        // then back; the maintained map must equal a fresh build each step.
+        let moves = [
+            (TargetId(0), Point2::new(6.0, 0.0)),
+            (TargetId(1), Point2::new(200.0, 200.0)),
+            (TargetId(0), Point2::new(49.0, 50.0)),
+            (TargetId(1), Point2::new(9.5, 0.0)),
+        ];
+        for (j, p) in moves {
+            targets[j.index()] = p;
+            let mut changes = Vec::new();
+            live.retarget(j, &grid, p, range, |s, old, new| {
+                changes.push((s, old, new));
+            });
+            let fresh = CoverageMap::build(&sensors, &targets, range);
+            for t in 0..targets.len() {
+                assert_eq!(
+                    live.candidates(TargetId::from(t)),
+                    fresh.candidates(TargetId::from(t)),
+                    "candidates for target {t} diverged"
+                );
+            }
+            for s in 0..sensors.len() {
+                assert_eq!(
+                    live.detects(SensorId::from(s)),
+                    fresh.detects(SensorId::from(s)),
+                    "detect list for sensor {s} diverged"
+                );
+            }
+            for (s, old, new) in changes {
+                assert_ne!(old, new, "no-op load change reported for {s}");
+                assert_eq!(live.load(s), new);
+            }
+            assert_eq!(live.covering_sensors(), fresh.covering_sensors());
+        }
     }
 
     #[test]

@@ -160,6 +160,14 @@ pub struct DynamicRoutingTree {
     /// disconnected.
     sc: Vec<u32>,
     loads: Vec<TrafficLoad>,
+    // Deduplicated queue of nodes whose materialized load changed since
+    // the last `take_load_events` drain; `load_events_all` collapses the
+    // queue after a wholesale rebuild / load restore. Consumers (the
+    // dispatch crossing heap) use it to re-predict drain rates for only
+    // the nodes that actually changed.
+    load_events: Vec<u32>,
+    load_event_flag: Vec<bool>,
+    load_events_all: bool,
     // Scratch buffers reused across repairs (no per-event allocation in
     // the steady state).
     heap: BinaryHeap<HeapEntry>,
@@ -183,6 +191,9 @@ impl DynamicRoutingTree {
             children: vec![Vec::new(); n],
             sc: vec![0; n],
             loads: vec![TrafficLoad::default(); n],
+            load_events: Vec::new(),
+            load_event_flag: vec![false; n],
+            load_events_all: false,
             heap: BinaryHeap::new(),
             affected: Vec::new(),
             in_affected: vec![false; n],
@@ -238,6 +249,7 @@ impl DynamicRoutingTree {
         for v in 0..n {
             self.materialize(v);
         }
+        self.load_events_all = true;
     }
 
     /// Flips a node's sensing-duty (generator) flag, updating relay loads
@@ -276,6 +288,7 @@ impl DynamicRoutingTree {
     pub fn restore_loads(&mut self, loads: &[TrafficLoad]) {
         assert_eq!(loads.len(), self.loads.len(), "loads length mismatch");
         self.loads.copy_from_slice(loads);
+        self.load_events_all = true;
     }
 
     // ---- accessors -----------------------------------------------------
@@ -348,6 +361,25 @@ impl DynamicRoutingTree {
     #[inline]
     pub fn subtree_generators(&self, v: usize) -> u32 {
         self.sc[v]
+    }
+
+    /// Drains the deduplicated set of nodes whose materialized load
+    /// changed since the last drain, appending them to `out` (unsorted).
+    /// Returns `true` when *every* node must be treated as changed (a
+    /// wholesale [`rebuild`](Self::rebuild) or
+    /// [`restore_loads`](Self::restore_loads) happened since the last
+    /// drain) — in that case nothing is appended to `out`.
+    pub fn take_load_events(&mut self, out: &mut Vec<u32>) -> bool {
+        let all = self.load_events_all;
+        self.load_events_all = false;
+        for &v in &self.load_events {
+            self.load_event_flag[v as usize] = false;
+        }
+        if !all {
+            out.extend_from_slice(&self.load_events);
+        }
+        self.load_events.clear();
+        all
     }
 
     // ---- differential oracle -------------------------------------------
@@ -438,7 +470,22 @@ impl DynamicRoutingTree {
     }
 
     fn materialize(&mut self, v: usize) {
-        self.loads[v] = self.load_for(v, self.sc[v], self.dist[v].is_finite());
+        let new = self.load_for(v, self.sc[v], self.dist[v].is_finite());
+        self.set_load(v, new);
+    }
+
+    /// Stores a new materialized load, recording a load event when the
+    /// value actually changed. The comparison is bitwise-safe: every
+    /// materialized load is a non-negative product (never `-0.0`), so
+    /// value equality implies bit equality.
+    fn set_load(&mut self, v: usize, new: TrafficLoad) {
+        if self.loads[v] != new {
+            self.loads[v] = new;
+            if !self.load_events_all && !self.load_event_flag[v] {
+                self.load_event_flag[v] = true;
+                self.load_events.push(v as u32);
+            }
+        }
     }
 
     /// Applies `delta` to the subtree counts of `from` and every ancestor
@@ -551,7 +598,7 @@ impl DynamicRoutingTree {
             self.parent[u] = NONE;
             self.children[u].clear();
             self.sc[u] = 0;
-            self.loads[u] = TrafficLoad::default();
+            self.set_load(u, TrafficLoad::default());
         }
         // Re-seed the enabled members of S from the (untouched) boundary
         // and re-run Dijkstra restricted to the improved region.

@@ -114,6 +114,18 @@ fn refresh_incremental(state: &mut WorldState) {
         let on = !state.sensors.is_depleted(s) && !state.sensors.suspended(s);
         state.routing.set_enabled(&state.graph, s + 1, on);
     }
+    // Sensors the incremental cluster repair dropped from the structure:
+    // back to the duty-cycled watch (active = dormant = false), exactly
+    // what `naive_activity` derives for unassigned sensors. The repair
+    // already seeded their dispatch re-check.
+    for i in 0..state.routing_dirty.departed.len() {
+        let s = state.routing_dirty.departed[i] as usize;
+        if state.sensors.active(s) {
+            state.sensors.set_active(s, false);
+            state.routing.set_generator(s + 1, false);
+        }
+        state.sensors.set_dormant(s, false);
+    }
     if state.routing_dirty.slots {
         for ci in 0..state.clusters.len() {
             apply_cluster_activity(state, ci);
@@ -137,9 +149,15 @@ fn apply_cluster_activity(state: &mut WorldState, ci: usize) {
         rotas,
         sensors,
         routing,
+        crossings,
         ..
     } = state;
     let cluster = &clusters.clusters()[ci];
+    // Every activity-class flip changes the sensor's drain rate, so it
+    // seeds a dispatch re-check (DESIGN.md §4j). Relay-load changes are
+    // reported separately by the routing tree's own load events; the
+    // explicit seed covers the detector-power component, which flips even
+    // when relay loads (e.g. at a zero data rate) do not.
     if cfg.activity.round_robin {
         let sn: &SensorSoA = sensors;
         let holder =
@@ -150,8 +168,14 @@ fn apply_cluster_activity(state: &mut WorldState, ci: usize) {
             if sensors.active(mi) != want_active {
                 sensors.set_active(mi, want_active);
                 routing.set_generator(mi + 1, want_active);
+                crossings.note_check(mi);
             }
-            sensors.set_dormant(mi, !want_active);
+            // Value-compared (the flag byte ends up identical either
+            // way) so dormancy flips can seed the re-check too.
+            if sensors.dormant(mi) == want_active {
+                sensors.set_dormant(mi, !want_active);
+                crossings.note_check(mi);
+            }
         }
     } else {
         for &m in &cluster.members {
@@ -160,6 +184,7 @@ fn apply_cluster_activity(state: &mut WorldState, ci: usize) {
             if sensors.active(mi) != want_active {
                 sensors.set_active(mi, want_active);
                 routing.set_generator(mi + 1, want_active);
+                crossings.note_check(mi);
             }
             // Dormancy is a round-robin concept; stays false here.
         }

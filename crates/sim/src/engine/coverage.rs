@@ -115,6 +115,29 @@ pub(crate) fn rebuild(state: &mut WorldState) {
     };
 }
 
+/// [`rebuild`] minus the O(sensors) alive recount: re-derives the
+/// per-cluster live counts and the covered counter for a *new* cluster
+/// structure while keeping the (exact, event-maintained) alive counter —
+/// clustering changes cannot alter which batteries are depleted. Used by
+/// the incremental cluster repair so a mid-run rebuild stays proportional
+/// to cluster membership, not to the sensor count.
+pub(crate) fn clusters_rebuilt(state: &mut WorldState) {
+    let alive = state.coverage.alive;
+    let n_clusters = state.clusters.len();
+    let mut live = Vec::with_capacity(n_clusters);
+    for ci in 0..n_clusters {
+        live.push(cluster_live_count(state, ci));
+    }
+    let covered = live.iter().filter(|&&c| c > 0).count();
+    state.coverage = CoverageCache {
+        live_members: live,
+        covered,
+        dirty: Vec::new(),
+        dirty_flag: vec![false; n_clusters],
+        alive,
+    };
+}
+
 /// Recounts every dirty cluster and settles the covered counter. O(dirty
 /// × cluster size); called from the sample phase of
 /// [`World::step`](crate::World::step) so reads between samples stay

@@ -8,12 +8,252 @@
 //! routes.
 
 use super::{faults, WorldState};
+use std::cmp::Reverse;
 use wrsn_core::{ClusterId, RechargeRequest, RvState, ScheduleInput, SensorId};
+use wrsn_energy::SensorActivity;
 
 /// Updates the request board from current battery states: recoveries
 /// leave, threshold crossings enter, and the §III-B ERC quorum releases
 /// aggregated group requests.
+///
+/// Event-driven (DESIGN.md §4j): instead of walking every sensor twice,
+/// the scan examines only the merged *examine list* — the below-threshold
+/// watch set, due crossing-heap predictions, explicit re-check seeds, and
+/// sensors whose relay load changed. Any sensor outside that list takes
+/// no action in either pass (no board writes, no RNG draws), so the
+/// result is byte-identical to [`manage_requests_naive`], the retained
+/// full-scan oracle the equivalence proptests diff against.
 pub(crate) fn manage_requests(state: &mut WorldState) {
+    if state.naive_dispatch {
+        manage_requests_naive(state);
+        return;
+    }
+    let thr = state.cfg.recharge_threshold_frac;
+    let n = state.cfg.num_sensors;
+    let now = state.crossings.tick;
+    state.crossings.tick = now + 1;
+
+    // ---- Merge the four event sources into the examine list. ----
+    let mut ex = std::mem::take(&mut state.crossings.examine);
+    ex.clear();
+
+    // Due crossing predictions. Lazy deletion: an entry is valid only if
+    // it still matches `sched` (invalidation overwrites `sched` and
+    // pushes a fresh entry, leaving the old one to be skipped here).
+    while let Some(&Reverse((due, s))) = state.crossings.heap.peek() {
+        if due > now {
+            break;
+        }
+        state.crossings.heap.pop();
+        if state.crossings.sched[s as usize] == due {
+            state.crossings.sched[s as usize] = u64::MAX;
+            ex.push(s);
+        }
+    }
+    // Explicit re-check seeds (rate raises, recovery-state flips).
+    for s in state.crossings.pending.drain(..) {
+        state.crossings.in_pending[s as usize] = false;
+        ex.push(s);
+    }
+    // The watch set: below-threshold sensors act every tick (idempotent
+    // mark-pending, depleted re-release, quorum votes, uplink retries).
+    ex.extend_from_slice(&state.crossings.watch);
+    // Relay-load changes (routing node ids; node 0 is the base). A full
+    // tree rebuild reports `all`: examine list is simply every sensor.
+    let mut loads = std::mem::take(&mut state.crossings.load_scratch);
+    loads.clear();
+    let all = state.routing.take_load_events(&mut loads);
+    for &v in &loads {
+        if v >= 1 {
+            ex.push(v - 1);
+        }
+    }
+    loads.clear();
+    state.crossings.load_scratch = loads;
+    if all {
+        ex.clear();
+        ex.extend(0..n as u32);
+    } else {
+        // Ascending order makes the passes below visit sensors in the
+        // same order as the naive 0..n scan (RNG draw order contract).
+        ex.sort_unstable();
+        ex.dedup();
+    }
+
+    // ---- Pass 1: recovered sensors leave the board. ----
+    for &s32 in &ex {
+        let s = s32 as usize;
+        let id = SensorId(s32);
+        if state.sensors.soc(s) >= thr && state.board.is_released(id) {
+            // Assigned requests stay with their RV (it is already on
+            // the way); only unassigned recoveries clear.
+            if state.board.is_unassigned(id) {
+                state.board.clear(id);
+            }
+        }
+    }
+
+    // ---- Pass 2: threshold crossings become pending / released
+    // (same body as the naive scan, over the examine list). ----
+    let mut dirty_groups = std::mem::take(&mut state.group_scratch);
+    dirty_groups.clear();
+    for &s32 in &ex {
+        let s = s32 as usize;
+        if state.sensors.failed(s) {
+            continue; // broken hardware: recharging cannot help
+        }
+        let id = SensorId(s32);
+        let soc = state.sensors.soc(s);
+        if soc < thr {
+            if state.sensors.suspended(s) {
+                // A transiently-down sensor cannot transmit; its request
+                // waits for the outage to end.
+                continue;
+            }
+            state.board.mark_pending(id);
+            if state.sensors.is_depleted(s) {
+                // Base-station-side detection, no uplink involved.
+                state.board.release(id, state.t);
+            } else if state.board.is_pending(id) {
+                match state.group_of[s] {
+                    Some(gid) => dirty_groups.push(gid),
+                    None => {
+                        faults::uplink_release(
+                            &state.cfg.faults,
+                            &mut state.rng,
+                            &mut state.board,
+                            &mut state.trace,
+                            &mut state.uplink_drops,
+                            state.t,
+                            id,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- ERC quorum per dirty request group (verbatim). ----
+    dirty_groups.sort_unstable();
+    dirty_groups.dedup();
+    for &gid in &dirty_groups {
+        let (start, len) = state.groups[gid as usize];
+        let members = &state.group_arena[start as usize..(start + len) as usize];
+        let below = members
+            .iter()
+            .filter(|m| state.sensors.soc(m.index()) < thr)
+            .count();
+        if state.erp.should_release(below, members.len()) {
+            for m in 0..len as usize {
+                let member = state.group_arena[start as usize + m];
+                if state.sensors.soc(member.index()) < thr
+                    && !state.sensors.failed(member.index())
+                    && !state.sensors.suspended(member.index())
+                {
+                    faults::uplink_release(
+                        &state.cfg.faults,
+                        &mut state.rng,
+                        &mut state.board,
+                        &mut state.trace,
+                        &mut state.uplink_drops,
+                        state.t,
+                        member,
+                    );
+                }
+            }
+        }
+    }
+    state.group_scratch = dirty_groups;
+
+    // ---- Rebuild the watch set; re-predict everyone who left it. ----
+    // The old watch is a subset of the examine list, so flags can be
+    // cleared wholesale and re-derived from the examine list alone.
+    let mut wn = std::mem::take(&mut state.crossings.watch_next);
+    wn.clear();
+    for i in 0..state.crossings.watch.len() {
+        let s = state.crossings.watch[i] as usize;
+        state.crossings.in_watch[s] = false;
+    }
+    for &s32 in &ex {
+        let s = s32 as usize;
+        if !state.sensors.failed(s) && state.sensors.soc(s) < thr {
+            if !state.crossings.in_watch[s] {
+                state.crossings.in_watch[s] = true;
+                wn.push(s32);
+            }
+        } else {
+            predict_crossing(state, s, now);
+        }
+    }
+    state.crossings.watch_next = std::mem::replace(&mut state.crossings.watch, wn);
+    state.crossings.examine = ex;
+}
+
+/// (Re)computes sensor `s`'s predicted threshold-crossing tick from its
+/// *current* drain rate and schedules it on the heap. Called for every
+/// examined sensor that did not (re)enter the watch set.
+///
+/// Safety of the estimate (DESIGN.md §4j): the power term is constant
+/// until a seeded event changes the activity class or relay load, and the
+/// self-discharge term uses the current level, which only decreases — so
+/// `per_tick` never *under*-estimates a future tick's drain while the
+/// prediction stands, and with the two-tick slack the sensor is always
+/// re-examined at or before its true crossing. Early firings simply
+/// re-predict. Rate *increases* are all seeded into `pending` by their
+/// source events, which supersedes this entry via `sched`.
+fn predict_crossing(state: &mut WorldState, s: usize, now: u64) {
+    if state.sensors.failed(s) || state.sensors.suspended(s) {
+        // Failed sensors never act again; suspended ones do not drain.
+        // Resume seeds a re-check, which re-predicts.
+        state.crossings.sched[s] = u64::MAX;
+        return;
+    }
+    let dt = state.cfg.tick_s;
+    let load = state.routing.loads()[s + 1];
+    let activity = if state.sensors.active(s) {
+        SensorActivity::Sensing {
+            tx_pps: load.tx_pps,
+            rx_pps: load.rx_pps,
+        }
+    } else if state.sensors.dormant(s) {
+        SensorActivity::Idle {
+            tx_pps: load.tx_pps,
+            rx_pps: load.rx_pps,
+        }
+    } else {
+        SensorActivity::Watching {
+            duty: state.cfg.watch_duty,
+            tx_pps: load.tx_pps,
+            rx_pps: load.rx_pps,
+        }
+    };
+    let mut per_tick = state.cfg.sensor_profile.power(activity) * dt;
+    let sd = state.cfg.self_discharge_per_day;
+    if sd > 0.0 {
+        per_tick += state.sensors.level[s] * sd * dt / 86_400.0;
+    }
+    if per_tick <= 0.0 {
+        // Not draining at all: only a seeded rate raise can change that.
+        state.crossings.sched[s] = u64::MAX;
+        return;
+    }
+    let thr = state.cfg.recharge_threshold_frac;
+    // Non-negative: the sensor was just examined at/above threshold.
+    let margin = state.sensors.level[s] - thr * state.sensors.capacity[s];
+    let ticks = margin / per_tick;
+    // Two ticks of slack, floor at one (`as i64` saturates on huge/inf).
+    let k = ((ticks as i64) - 2).max(1) as u64;
+    let due = now.saturating_add(k).min(u64::MAX - 1);
+    state.crossings.sched[s] = due;
+    state.crossings.heap.push(Reverse((due, s as u32)));
+}
+
+/// The historical full-scan request management, retained verbatim as the
+/// differential oracle for [`manage_requests`] (and selectable with
+/// [`crate::World::set_naive_dispatch`] — the equivalence proptests step
+/// a naive and an event-driven world in lockstep and require
+/// byte-identical snapshots).
+pub(crate) fn manage_requests_naive(state: &mut WorldState) {
     let thr = state.cfg.recharge_threshold_frac;
 
     // Recovered sensors leave the board.

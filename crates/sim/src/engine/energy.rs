@@ -7,7 +7,7 @@
 //! faults invalidate the routing tree and feed the death/failure ledgers
 //! the conservation tests audit.
 
-use super::WorldState;
+use super::{WorldState, F_ACTIVE, F_DORMANT, F_SUSPENDED, F_WAS_DEPLETED};
 use rand::Rng;
 use wrsn_core::SensorId;
 use wrsn_energy::SensorActivity;
@@ -52,11 +52,116 @@ pub(crate) fn inject_failures(state: &mut WorldState, dt: f64) {
     }
 }
 
-/// Integrates one tick of battery drain for every live sensor. The loop
+/// Integrates one tick of battery drain for every live sensor.
+///
+/// The fast path is a chunked kernel over the SoA columns: per-class
+/// base powers and per-packet radio energies are hoisted out of the
+/// loop, dead/suspended lanes are masked to a zero demand (`level -=
+/// 0.0` and `total += 0.0` are bitwise no-ops for the non-negative
+/// levels the battery maintains, so masking matches the naive loop's
+/// `continue` byte for byte), and depletion transitions are queued and
+/// replayed after the sweep in the same ascending order the naive loop
+/// fires them (transition side effects never feed back into other
+/// sensors' draws within the tick, so deferral is invisible).
+///
+/// [`drain_sensors_naive`] keeps the historical per-sensor loop as the
+/// differential oracle; the equivalence proptests require byte-identical
+/// snapshots between the two.
+pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
+    if state.naive_drain {
+        drain_sensors_naive(state, dt);
+        return;
+    }
+    let n = state.cfg.num_sensors;
+    let profile = state.cfg.sensor_profile;
+    let sd = state.cfg.self_discharge_per_day;
+    // Per-class base power with zeroed packet rates. `power()` computes
+    // `base + detector + tx·txe + rx·rxe` with left-associated adds, so
+    // `dtab + tx·txe + rx·rxe` below reproduces it bitwise (the zeroed
+    // rate terms add exact `+0.0`s).
+    let d_sensing = profile.power(SensorActivity::Sensing {
+        tx_pps: 0.0,
+        rx_pps: 0.0,
+    });
+    let d_idle = profile.power(SensorActivity::Idle {
+        tx_pps: 0.0,
+        rx_pps: 0.0,
+    });
+    let d_watch = profile.power(SensorActivity::Watching {
+        duty: state.cfg.watch_duty,
+        tx_pps: 0.0,
+        rx_pps: 0.0,
+    });
+    let txe = profile.radio.tx_energy(profile.packet_bytes);
+    let rxe = profile.radio.rx_energy(profile.packet_bytes);
+
+    let mut transitions: Vec<u32> = Vec::new();
+    {
+        let WorldState {
+            sensors,
+            routing,
+            total_drained_j,
+            ..
+        } = state;
+        let loads = routing.loads();
+        const CHUNK: usize = 1024;
+        let mut c0 = 0;
+        while c0 < n {
+            let c1 = (c0 + CHUNK).min(n);
+            for s in c0..c1 {
+                let fl = sensors.flags[s];
+                let level = sensors.level[s];
+                // Dormant sensors still relay (Idle keeps the radio on);
+                // only depletion and suspension stop the draw entirely.
+                let masked = level <= 0.0 || fl & F_SUSPENDED != 0;
+                let base = if fl & F_ACTIVE != 0 {
+                    d_sensing
+                } else if fl & F_DORMANT != 0 {
+                    d_idle
+                } else {
+                    d_watch
+                };
+                let load = loads[s + 1];
+                let power = base + load.tx_pps * txe + load.rx_pps * rxe;
+                let mut demand = power * dt;
+                if sd > 0.0 {
+                    demand += level * sd * dt / 86_400.0;
+                }
+                if masked {
+                    demand = 0.0;
+                }
+                debug_assert!(demand.is_finite() && demand >= 0.0);
+                // Inlined `SensorSoA::draw`, same min/subtract sequence.
+                let delivered = demand.min(level);
+                sensors.level[s] = level - delivered;
+                *total_drained_j += delivered;
+                if !masked && level - delivered <= 0.0 && fl & F_WAS_DEPLETED == 0 {
+                    transitions.push(s as u32);
+                }
+            }
+            c0 = c1;
+        }
+    }
+    // Replay depletion transitions in the naive loop's (ascending) order.
+    for &s32 in &transitions {
+        let s = s32 as usize;
+        state.sensors.set_was_depleted(s, true);
+        state.deaths += 1;
+        state.note_liveness_changed(s);
+        super::coverage::note_depleted(state, SensorId(s32));
+        state.trace.push(crate::TraceEvent::SensorDepleted {
+            t: state.t,
+            sensor: SensorId(s32),
+        });
+    }
+}
+
+/// The historical per-sensor drain loop, retained as the differential
+/// oracle for the chunked kernel above. The loop
 /// strides the SoA columns (levels, packed flags, relay loads) directly;
 /// depletions feed the liveness dirty-set so the routing refresh repairs
 /// only the affected subtrees.
-pub(crate) fn drain_sensors(state: &mut WorldState, dt: f64) {
+pub(crate) fn drain_sensors_naive(state: &mut WorldState, dt: f64) {
     let profile = state.cfg.sensor_profile;
     let watch_duty = state.cfg.watch_duty;
     let self_discharge = state.cfg.self_discharge_per_day;

@@ -41,6 +41,9 @@ fn resume_sensors(state: &mut WorldState) {
             state.sensors.set_suspended(s, false);
             state.sensors.suspend_until[s] = f64::NAN;
             state.note_liveness_changed(s);
+            // Drain restarts (a rate *raise* from zero): the crossing
+            // prediction parked during the outage must be re-derived.
+            state.crossings.note_check(s);
             super::coverage::note_suspension_changed(state, SensorId(s as u32));
             state.trace.push(TraceEvent::SensorResumed {
                 t: state.t,
@@ -124,6 +127,10 @@ fn break_rvs(state: &mut WorldState, dt: f64) {
             let dropped = state.rvs[i].abandon_route();
             for &s in &dropped {
                 state.board.unassign(s);
+                // A released request just became unassigned: the
+                // dispatch recovery pass must examine it (it may sit
+                // above threshold after a partial charge).
+                state.crossings.note_check(s.index());
             }
             state.rvs[i].phase = RvPhase::Broken {
                 until_s: state.t + repair.max(dt),

@@ -109,6 +109,12 @@ pub(crate) fn step_rv(state: &mut WorldState, i: usize, dt: f64) {
                 let was_dead = battery.is_depleted();
                 let delivered = battery.charge_for(power, use_t);
                 state.sensors.set_level(si, battery.level());
+                // Charging can carry the sensor across the request
+                // threshold before the next tick's scan; make sure the
+                // dispatch pass examines it. (A below-threshold sensor is
+                // in the watch set anyway — this seed is the belt to that
+                // suspender.)
+                state.crossings.note_check(si);
                 state.total_delivered_j += delivered;
                 state.metrics.record_recharge_energy(delivered);
                 let src = delivered / eff;
@@ -180,6 +186,10 @@ fn abandon_if_exhausted(state: &mut WorldState, i: usize) -> bool {
     }
     for s in state.rvs[i].abandon_route() {
         state.board.unassign(s);
+        // A released request just became unassigned: the dispatch
+        // recovery pass must examine it next tick (a partial charge may
+        // have pushed it above threshold already).
+        state.crossings.note_check(s.index());
     }
     state.rvs[i].phase = RvPhase::ToBase;
     true

@@ -126,6 +126,39 @@ pub(crate) fn check(state: &WorldState) -> Result<(), String> {
         ));
     }
 
+    // --- Crossing-heap examine coverage (DESIGN.md §4j) -----------------
+    // The event-driven request scan must never let an *acting* sensor
+    // escape examination: every below-threshold live sensor is either in
+    // the per-tick watch set or explicitly seeded, and every recovered
+    // (above-threshold, released, unassigned) request is scheduled for
+    // the recovery pass. Skipped in naive-dispatch oracle mode, where the
+    // full scan needs no bookkeeping.
+    if !state.naive_dispatch {
+        let thr = state.cfg.recharge_threshold_frac;
+        for s in 0..n {
+            if state.sensors.failed(s) {
+                continue; // permanent no-ops in both dispatch passes
+            }
+            let scheduled = state.crossings.watched(s) || state.crossings.check_pending(s);
+            if state.sensors.soc(s) < thr {
+                if !scheduled {
+                    return Err(format!(
+                        "sensor {s} is below the request threshold but neither watched \
+                         nor seeded for the next dispatch scan"
+                    ));
+                }
+            } else {
+                let id = SensorId(s as u32);
+                if state.board.is_released(id) && state.board.is_unassigned(id) && !scheduled {
+                    return Err(format!(
+                        "sensor {s} is a recovered unassigned request but is not \
+                         scheduled for the dispatch recovery pass"
+                    ));
+                }
+            }
+        }
+    }
+
     // --- Coverage cache vs. naive oracle --------------------------------
     // Every debug tick re-derives coverage and alive counts from ground
     // truth and demands exact agreement with the incremental cache — the

@@ -7,8 +7,30 @@
 //! target drifts half a sensing radius from where its cluster was formed.
 
 use super::WorldState;
-use wrsn_core::{CoverageMap, RoundRobinRota};
-use wrsn_geom::Field;
+use wrsn_core::{CoverageMap, RoundRobinRota, SensorId, TargetId};
+use wrsn_geom::{Field, GridIndex, Point2};
+
+/// Persistent geometry behind the incremental cluster repair
+/// (DESIGN.md §4f). Sensor positions never change, so the grid index is
+/// built once; the coverage map and the covering-sensor set `A` are then
+/// patched per *moved target* instead of recomputed over every sensor.
+///
+/// `None` until the first wholesale rebuild constructs it — world
+/// construction always runs wholesale, and snapshots do not persist this
+/// (the first post-resume rebuild is wholesale again, which is
+/// byte-identical: both paths produce the same world state).
+pub(crate) struct RepairState {
+    /// Grid over the fixed sensor positions (cell = sensing range,
+    /// matching [`CoverageMap::build`]'s internal index).
+    grid: GridIndex,
+    /// Maintained coverage map, always reflecting `synced`.
+    cov: CoverageMap,
+    /// The target positions `cov` currently reflects.
+    synced: Vec<Point2>,
+    /// Maintained Alg. 1 input set `A` (sensors with load > 0), sorted
+    /// ascending; patched on load 0↔positive transitions.
+    covering: Vec<SensorId>,
+}
 
 /// Advances target positions by one tick and rebuilds clustering when the
 /// motion invalidated it.
@@ -57,7 +79,23 @@ pub(crate) fn step_targets(state: &mut WorldState, dt: f64) {
 
 /// Recomputes coverage, balanced clusters (Alg. 1), round-robin rotas and
 /// the §III-A request groups from the current target positions.
+///
+/// Dispatches to the incremental [`repair_clusters`] once a
+/// [`RepairState`] exists (i.e. after the first wholesale rebuild); the
+/// two paths produce bitwise-identical end-of-tick world state — the
+/// equivalence proptests diff their snapshots under churny mobility.
 pub(crate) fn rebuild_clusters(state: &mut WorldState) {
+    if state.repair.is_some() && !state.naive_repair {
+        repair_clusters(state);
+    } else {
+        rebuild_clusters_wholesale(state);
+    }
+}
+
+/// The wholesale path: fresh coverage map, fresh Alg. 1 run, fresh
+/// assignment scan. Also (re)constructs the [`RepairState`] the
+/// incremental path patches from then on.
+pub(crate) fn rebuild_clusters_wholesale(state: &mut WorldState) {
     let coverage = CoverageMap::build(
         &state.sensor_pos,
         &state.target_pos,
@@ -102,11 +140,154 @@ pub(crate) fn rebuild_clusters(state: &mut WorldState) {
             state.group_of[m.index()] = Some(gid);
         }
     }
-    // The cluster structure changed: both incremental caches fall back to
-    // their wholesale rebuilds (the only non-event-wise moment they have)
-    // — a full routing refresh supersedes any queued node/cluster events.
+    // Seed (or refresh) the incremental-repair geometry: subsequent
+    // rebuilds patch this instead of re-scanning every sensor. Skipped in
+    // naive-repair oracle mode, which must stay pure wholesale.
+    state.repair = if state.naive_repair {
+        None
+    } else {
+        Some(RepairState {
+            grid: CoverageMap::grid_for(&state.sensor_pos, state.cfg.sensing_range),
+            covering: coverage.covering_sensors(),
+            synced: state.target_pos.clone(),
+            cov: coverage,
+        })
+    };
+    // The cluster structure changed: the routing refresh and the coverage
+    // cache fall back to their wholesale recomputes — a full routing
+    // refresh supersedes any queued node/cluster events. (The incremental
+    // path below keeps even this moment event-wise.)
     state.routing_dirty.note_full();
     super::coverage::rebuild(state);
+}
+
+/// Event-incremental cluster rebuild: patches the maintained coverage map
+/// for the targets that actually moved, re-runs Alg. 1 over the
+/// maintained `A` set, and diffs the result into the world — bitwise
+/// identical to [`rebuild_clusters_wholesale`] (Alg. 1 is a pure function
+/// of the coverage map and `A`, and `A`'s order is irrelevant under its
+/// total `(load, id)` sort key).
+///
+/// Flag updates for sensors *departed* from the cluster structure are
+/// deferred to the routing refresh via [`super::RoutingDirty::departed`],
+/// keeping flag bytes phase-identical to the wholesale path (which also
+/// only touches flags at refresh time).
+fn repair_clusters(state: &mut WorldState) {
+    // 1. Sync the maintained coverage map to the moved targets.
+    let mut rs = state.repair.take().expect("repair state present");
+    {
+        let RepairState {
+            grid,
+            cov,
+            synced,
+            covering,
+        } = &mut rs;
+        for (j, &p) in state.target_pos.iter().enumerate() {
+            if synced[j] != p {
+                synced[j] = p;
+                cov.retarget(
+                    TargetId(j as u32),
+                    grid,
+                    p,
+                    state.cfg.sensing_range,
+                    |s, old, new| {
+                        if old == 0 {
+                            let i = covering
+                                .binary_search(&s)
+                                .expect_err("covering set out of sync");
+                            covering.insert(i, s);
+                        } else if new == 0 {
+                            let i = covering
+                                .binary_search(&s)
+                                .expect("covering set out of sync");
+                            covering.remove(i);
+                        }
+                    },
+                );
+            }
+        }
+    }
+
+    // 2. Alg. 1 over the maintained A set.
+    let new_clusters = wrsn_core::balanced_clusters_with(&rs.cov, rs.covering.clone());
+    state.repair = Some(rs);
+
+    // 3. Assignment diff: clear old members, set new ones. Only members
+    // ever hold `Some`, so the diff equals a fresh assignment scan.
+    let mut old_members: Vec<SensorId> = Vec::new();
+    for cluster in state.clusters.clusters() {
+        for &m in &cluster.members {
+            old_members.push(m);
+            state.assignment[m.index()] = None;
+        }
+    }
+    state.clusters = new_clusters;
+    for (ci, cluster) in state.clusters.iter() {
+        for &m in &cluster.members {
+            state.assignment[m.index()] = Some(ci);
+        }
+    }
+
+    // 4. Fresh rotas for every cluster — the same cursor reset the
+    // wholesale path performs.
+    state.rotas = state
+        .clusters
+        .clusters()
+        .iter()
+        .map(|c| RoundRobinRota::new(c.members.clone()))
+        .collect();
+    state.trace.push(crate::TraceEvent::ClustersRebuilt {
+        t: state.t,
+        clusters: state.clusters.len(),
+    });
+
+    // 5. Refresh each member's stored request group (verbatim from the
+    // wholesale path — same unchanged-membership skip).
+    for cluster in state.clusters.clusters() {
+        let unchanged = cluster
+            .members
+            .first()
+            .and_then(|&m| state.group_of[m.index()])
+            .is_some_and(|gid| {
+                let (start, len) = state.groups[gid as usize];
+                let slice = &state.group_arena[start as usize..(start + len) as usize];
+                slice == cluster.members.as_slice()
+                    && cluster
+                        .members
+                        .iter()
+                        .all(|&m| state.group_of[m.index()] == Some(gid))
+            });
+        if unchanged {
+            continue;
+        }
+        let gid = state.groups.len() as u32;
+        let start = state.group_arena.len() as u32;
+        state.group_arena.extend_from_slice(&cluster.members);
+        state.groups.push((start, cluster.members.len() as u32));
+        for &m in &cluster.members {
+            state.group_of[m.index()] = Some(gid);
+        }
+    }
+
+    // 6. Sensors departed from the structure entirely: their flag clears
+    // happen at the refresh; their drain class changes, so seed a
+    // dispatch re-check as well.
+    for &m in &old_members {
+        if state.assignment[m.index()].is_none() {
+            state.routing_dirty.note_departed(m.index());
+            state.crossings.note_check(m.index());
+        }
+    }
+
+    // 7. Queued cluster ids refer to the pre-repair structure: drop them
+    // and queue every new cluster for re-derivation (the wholesale path's
+    // `note_full` supersedes them the same way). The node queue is kept —
+    // sensor ids are stable and their enabled bits still need repairing.
+    state.routing_dirty.drop_stale_clusters();
+    for ci in 0..state.clusters.len() {
+        state.routing_dirty.note_cluster(ci);
+    }
+    super::coverage::clusters_rebuilt(state);
 }
 
 #[cfg(test)]

@@ -228,6 +228,104 @@ impl SensorSoA {
     }
 }
 
+/// The SoC crossing-heap state behind the event-driven request scan
+/// (DESIGN.md §4j).
+///
+/// [`dispatch::manage_requests`] used to walk every sensor twice per
+/// tick. The heap replaces those scans with an *examine list* built from
+/// four event sources, each a superset-safe trigger (a sensor that takes
+/// no action is a complete no-op in both passes — no writes, no RNG — so
+/// examining extra sensors never changes world bytes):
+///
+/// * `watch` — sensors below the request threshold at their last
+///   examination. Below-threshold sensors act every tick (idempotent
+///   `mark_pending`, depleted re-release, quorum voting, uplink-retry RNG
+///   draws), so the watch set is re-examined every tick.
+/// * `heap`/`sched` — min-heap of predicted threshold-crossing ticks for
+///   above-threshold sensors, keyed off the *current* drain rate with a
+///   two-tick early-fire slack. Lazy deletion: a popped entry is valid
+///   iff it matches `sched`; invalidation just overwrites `sched` and
+///   pushes a fresh entry.
+/// * `pending` — explicit re-check seeds pushed by every event that can
+///   *raise* a sensor's drain rate or flip its board recovery state
+///   (activity flips, outage resume, route abandonment). Rate *drops*
+///   need no seed: the old prediction fires early and re-predicts.
+/// * routing load events — relay-load changes collected value-compared
+///   by [`DynamicRoutingTree::take_load_events`]; a full tree rebuild
+///   reports "all" and the next examine list is simply `0..n`.
+pub(crate) struct CrossingState {
+    /// Relative tick counter the heap keys off. Deliberately *not*
+    /// serialized: snapshots reseed `pending` with every sensor instead,
+    /// so resumed worlds re-derive their predictions on the first tick.
+    tick: u64,
+    /// Min-heap of `(due_tick, sensor)` crossing predictions.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    /// Scheduled due tick per sensor; `u64::MAX` = no prediction.
+    sched: Vec<u64>,
+    /// Sensors below threshold at last examination (ascending order is
+    /// *not* maintained here; the examine list is sorted per tick).
+    watch: Vec<u32>,
+    in_watch: Vec<bool>,
+    /// Deduplicated explicit re-check seeds.
+    pending: Vec<u32>,
+    in_pending: Vec<bool>,
+    /// Scratch: merged examine list (reused across ticks).
+    examine: Vec<u32>,
+    /// Scratch: next watch set (double buffer).
+    watch_next: Vec<u32>,
+    /// Scratch: routing load-event node ids.
+    load_scratch: Vec<u32>,
+}
+
+impl CrossingState {
+    /// Fresh state with *every* sensor seeded for examination — the safe
+    /// superset used both at construction and on snapshot resume.
+    pub(crate) fn new_all_pending(num_sensors: usize) -> Self {
+        Self {
+            tick: 0,
+            heap: std::collections::BinaryHeap::new(),
+            sched: vec![u64::MAX; num_sensors],
+            watch: Vec::new(),
+            in_watch: vec![false; num_sensors],
+            pending: (0..num_sensors as u32).collect(),
+            in_pending: vec![true; num_sensors],
+            examine: Vec::new(),
+            watch_next: Vec::new(),
+            load_scratch: Vec::new(),
+        }
+    }
+
+    /// Seeds sensor `s` for re-examination at the next request scan.
+    /// Called by every event that can raise `s`'s drain rate or flip its
+    /// recovery-relevant board state.
+    #[inline]
+    pub(crate) fn note_check(&mut self, s: usize) {
+        if !self.in_pending[s] {
+            self.in_pending[s] = true;
+            self.pending.push(s as u32);
+        }
+    }
+
+    /// Whether `s` is in the every-tick watch set (below threshold at
+    /// last examination). Exposed for the invariant audit.
+    #[inline]
+    pub(crate) fn watched(&self, s: usize) -> bool {
+        self.in_watch[s]
+    }
+
+    /// Whether `s` is seeded for the next scan. Exposed for the audit.
+    #[inline]
+    pub(crate) fn check_pending(&self, s: usize) -> bool {
+        self.in_pending[s]
+    }
+
+    /// Current heap + watch footprint, for diagnostics and benches.
+    #[allow(dead_code)]
+    pub(crate) fn footprint(&self) -> (usize, usize) {
+        (self.heap.len(), self.watch.len())
+    }
+}
+
 /// Deduplicated dirty-sets feeding the event-incremental routing refresh
 /// (the routing half of the invalidation contract, DESIGN.md §4f).
 ///
@@ -253,6 +351,13 @@ pub(crate) struct RoutingDirty {
     pub(crate) slots: bool,
     /// The cluster structure changed: wholesale recompute + full rebuild.
     pub(crate) full: bool,
+    /// Sensors dropped from the cluster structure by an *incremental*
+    /// repair (member of an old cluster, member of no new one). Their
+    /// active/dormant flags and generator bits must be cleared at the
+    /// next refresh — deferred there (not done at repair time) so flag
+    /// bytes stay tick-phase-identical to the wholesale path, which also
+    /// only touches flags at refresh time.
+    pub(crate) departed: Vec<u32>,
 }
 
 impl RoutingDirty {
@@ -264,6 +369,17 @@ impl RoutingDirty {
             cluster_flag: Vec::new(),
             slots: false,
             full: false,
+            departed: Vec::new(),
+        }
+    }
+
+    /// Queues sensor `s` for a departed-from-clustering flag clear at the
+    /// next refresh. Callers guarantee each sensor is queued at most once
+    /// between refreshes (a sensor departs at most once per repair, and a
+    /// repair is followed by a refresh the same tick).
+    pub(crate) fn note_departed(&mut self, s: usize) {
+        if !self.full {
+            self.departed.push(s as u32);
         }
     }
 
@@ -290,6 +406,15 @@ impl RoutingDirty {
         }
     }
 
+    /// Drops every queued cluster event (their ids refer to a cluster
+    /// structure that no longer exists). Used by the incremental cluster
+    /// repair, which re-queues every post-repair cluster afterwards.
+    pub(crate) fn drop_stale_clusters(&mut self) {
+        for c in self.clusters.drain(..) {
+            self.cluster_flag[c as usize] = false;
+        }
+    }
+
     /// Every rota advanced one slot.
     pub(crate) fn note_slots(&mut self) {
         if !self.full {
@@ -308,11 +433,17 @@ impl RoutingDirty {
         for c in self.clusters.drain(..) {
             self.cluster_flag[c as usize] = false;
         }
+        // The wholesale recompute rewrites every sensor's flags anyway.
+        self.departed.clear();
     }
 
     /// Whether any refresh work is pending.
     pub(crate) fn any(&self) -> bool {
-        self.full || self.slots || !self.nodes.is_empty() || !self.clusters.is_empty()
+        self.full
+            || self.slots
+            || !self.nodes.is_empty()
+            || !self.clusters.is_empty()
+            || !self.departed.is_empty()
     }
 
     /// Whether a full rebuild is pending (supersedes the queues).
@@ -332,6 +463,7 @@ impl RoutingDirty {
         self.cluster_flag.resize(num_clusters, false);
         self.slots = false;
         self.full = false;
+        self.departed.clear();
     }
 }
 
@@ -434,6 +566,28 @@ pub(crate) struct WorldState {
     /// dirty request-group ids it collects each tick (avoids a per-tick
     /// allocation on the hot path).
     pub(crate) group_scratch: Vec<u32>,
+
+    /// SoC crossing-heap state behind the event-driven request scan
+    /// (DESIGN.md §4j). Derived state: never serialized — snapshots
+    /// resume with every sensor seeded for re-examination instead.
+    pub(crate) crossings: CrossingState,
+
+    /// Persistent geometry behind the incremental cluster repair
+    /// (DESIGN.md §4f): grid index over the fixed sensor positions, the
+    /// maintained coverage map, and the maintained covering-sensor set.
+    /// `None` until the first wholesale rebuild constructs it (always
+    /// `None` right after a snapshot resume — the first post-resume
+    /// rebuild is wholesale, which is byte-identical anyway).
+    pub(crate) repair: Option<mobility::RepairState>,
+
+    /// Differential-oracle switches (never serialized, default `false`):
+    /// force the retained naive full-scan dispatch / per-sensor drain
+    /// loop / wholesale cluster rebuild instead of the event-driven
+    /// fast paths. The equivalence proptests step a naive and a fast
+    /// world side by side and require byte-identical snapshots.
+    pub(crate) naive_dispatch: bool,
+    pub(crate) naive_drain: bool,
+    pub(crate) naive_repair: bool,
 
     /// Conservation ledgers for the invariant checker: energy stored in
     /// sensor batteries at t = 0, energy discarded when hardware
@@ -539,6 +693,11 @@ impl WorldState {
             replan_urgent: false,
             coverage: coverage::CoverageCache::default(),
             group_scratch: Vec::new(),
+            crossings: CrossingState::new_all_pending(cfg.num_sensors),
+            repair: None,
+            naive_dispatch: false,
+            naive_drain: false,
+            naive_repair: false,
             initial_sensor_j,
             failure_lost_j: 0.0,
             initial_fleet_j,

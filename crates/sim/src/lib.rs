@@ -49,4 +49,4 @@ pub use config::{ActivityConfig, FaultConfig, SimConfig, TargetMobility};
 pub use request::RequestBoard;
 pub use rv_agent::{RvAgent, RvPhase};
 pub use trace::{Trace, TraceEvent};
-pub use world::{SimOutcome, World};
+pub use world::{SimOutcome, StepTimings, World};

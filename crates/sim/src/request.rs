@@ -29,6 +29,11 @@ pub struct RequestBoard {
     /// Earliest time the next retransmit may happen (NaN when no retry is
     /// scheduled).
     retry_at: Vec<f64>,
+    /// Sorted (ascending) index of sensors that are released and not yet
+    /// assigned — exactly the set [`RequestBoard::unassigned`] yields.
+    /// Maintained on every stage transition so the per-tick planner scan
+    /// is O(|unassigned|), not O(n).
+    unassigned_ix: Vec<u32>,
 }
 
 impl RequestBoard {
@@ -41,6 +46,21 @@ impl RequestBoard {
             released_at: vec![f64::NAN; n],
             attempts: vec![0; n],
             retry_at: vec![f64::NAN; n],
+            unassigned_ix: Vec::new(),
+        }
+    }
+
+    /// Inserts `i` into the sorted unassigned index (no-op when present).
+    fn ix_insert(&mut self, i: usize) {
+        if let Err(pos) = self.unassigned_ix.binary_search(&(i as u32)) {
+            self.unassigned_ix.insert(pos, i as u32);
+        }
+    }
+
+    /// Removes `i` from the sorted unassigned index (no-op when absent).
+    fn ix_remove(&mut self, i: usize) {
+        if let Ok(pos) = self.unassigned_ix.binary_search(&(i as u32)) {
+            self.unassigned_ix.remove(pos);
         }
     }
 
@@ -56,6 +76,9 @@ impl RequestBoard {
         if !self.released[s.index()] {
             self.released[s.index()] = true;
             self.released_at[s.index()] = t;
+            if !self.assigned[s.index()] {
+                self.ix_insert(s.index());
+            }
         }
         self.attempts[s.index()] = 0;
         self.retry_at[s.index()] = f64::NAN;
@@ -103,18 +126,29 @@ impl RequestBoard {
     /// Panics (debug) when assigning a request that was never released.
     pub fn assign(&mut self, s: SensorId) {
         debug_assert!(self.released[s.index()], "assigning unreleased request {s}");
-        self.assigned[s.index()] = true;
+        if !self.assigned[s.index()] {
+            self.assigned[s.index()] = true;
+            self.ix_remove(s.index());
+        }
     }
 
     /// Returns an assigned request to the released pool (its RV abandoned
     /// the route, e.g. it ran out of energy mid-tour).
     pub fn unassign(&mut self, s: SensorId) {
-        self.assigned[s.index()] = false;
+        if self.assigned[s.index()] {
+            self.assigned[s.index()] = false;
+            if self.released[s.index()] {
+                self.ix_insert(s.index());
+            }
+        }
     }
 
     /// Clears every stage for a sensor — called when it is recharged above
     /// the threshold (served or topped up enough).
     pub fn clear(&mut self, s: SensorId) {
+        if self.released[s.index()] && !self.assigned[s.index()] {
+            self.ix_remove(s.index());
+        }
         self.pending[s.index()] = false;
         self.released[s.index()] = false;
         self.assigned[s.index()] = false;
@@ -143,11 +177,10 @@ impl RequestBoard {
         self.released[s.index()] && !self.assigned[s.index()]
     }
 
-    /// Sensors currently awaiting scheduling.
+    /// Sensors currently awaiting scheduling, in ascending id order
+    /// (served from the maintained index — O(|unassigned|), not O(n)).
     pub fn unassigned(&self) -> impl Iterator<Item = SensorId> + '_ {
-        (0..self.released.len())
-            .filter(|&i| self.released[i] && !self.assigned[i])
-            .map(SensorId::from)
+        self.unassigned_ix.iter().map(|&i| SensorId(i))
     }
 
     /// Number of sensors in the recharge node list.
@@ -190,6 +223,10 @@ impl RequestBoard {
                 && retry_at.len() == n,
             "request-board columns must share one length"
         );
+        let unassigned_ix = (0..n)
+            .filter(|&i| released[i] && !assigned[i])
+            .map(|i| i as u32)
+            .collect();
         Self {
             pending,
             released,
@@ -197,6 +234,7 @@ impl RequestBoard {
             released_at,
             attempts,
             retry_at,
+            unassigned_ix,
         }
     }
 }
@@ -264,6 +302,56 @@ mod tests {
         b.clear(s);
         assert_eq!(b.uplink_attempts(s), 0);
         assert!(b.retry_due(s, 0.0));
+    }
+
+    #[test]
+    fn unassigned_index_tracks_every_transition() {
+        let naive = |b: &RequestBoard| -> Vec<SensorId> {
+            let (_, released, assigned, ..) = b.raw();
+            (0..released.len())
+                .filter(|&i| released[i] && !assigned[i])
+                .map(SensorId::from)
+                .collect()
+        };
+        let mut b = RequestBoard::new(6);
+        let check = |b: &RequestBoard| {
+            assert_eq!(b.unassigned().collect::<Vec<_>>(), naive(b));
+        };
+        b.release(SensorId(4), 1.0);
+        b.release(SensorId(1), 1.0);
+        b.release(SensorId(1), 2.0); // idempotent re-release
+        check(&b);
+        b.assign(SensorId(1));
+        b.assign(SensorId(1)); // idempotent re-assign
+        check(&b);
+        b.unassign(SensorId(1));
+        b.unassign(SensorId(1)); // idempotent re-unassign
+        b.unassign(SensorId(3)); // never assigned at all
+        check(&b);
+        b.clear(SensorId(4));
+        b.clear(SensorId(4)); // idempotent re-clear
+        check(&b);
+        b.release(SensorId(0), 3.0);
+        b.assign(SensorId(0));
+        b.clear(SensorId(0)); // clear while assigned
+        check(&b);
+        // Round-trip through the raw columns rebuilds the same index.
+        let (p, r, a, ra, at, rt) = {
+            let (p, r, a, ra, at, rt) = b.raw();
+            (
+                p.to_vec(),
+                r.to_vec(),
+                a.to_vec(),
+                ra.to_vec(),
+                at.to_vec(),
+                rt.to_vec(),
+            )
+        };
+        let rb = RequestBoard::from_raw(p, r, a, ra, at, rt);
+        assert_eq!(
+            rb.unassigned().collect::<Vec<_>>(),
+            b.unassigned().collect::<Vec<_>>()
+        );
     }
 
     #[test]

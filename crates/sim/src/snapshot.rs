@@ -1221,6 +1221,17 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WorldState> {
         uplink_drops,
         replan_urgent,
         coverage: engine::coverage::CoverageCache::default(),
+        // Derived dispatch/repair accelerators are not serialized: the
+        // crossing bookkeeping restarts all-pending (the first post-resume
+        // scan examines every sensor, exactly like the pending full
+        // routing refresh above), and cluster repair falls back to one
+        // wholesale rebuild to re-establish its baseline (byte-identical
+        // to incremental by contract, DESIGN.md §4f/§4j).
+        crossings: engine::CrossingState::new_all_pending(n),
+        repair: None,
+        naive_dispatch: false,
+        naive_drain: false,
+        naive_repair: false,
         initial_sensor_j,
         failure_lost_j,
         initial_fleet_j,

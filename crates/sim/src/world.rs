@@ -44,6 +44,45 @@ pub struct SimOutcome {
     pub uplink_drops: u64,
 }
 
+/// Wall-clock nanoseconds spent in each phase of one [`World::step_timed`]
+/// tick — the per-phase breakdown behind `results/BENCH_tick.json`.
+///
+/// Phase numbering follows [`World::step`]'s pipeline docs; phases 3–4
+/// (chaos + failure injection) share one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTimings {
+    /// Phase 1 — target motion + cluster repair/rebuild.
+    pub mobility_ns: u64,
+    /// Phase 2 — round-robin slot handover.
+    pub activity_ns: u64,
+    /// Phases 3–4 — chaos engine + permanent failure injection.
+    pub faults_ns: u64,
+    /// Phase 5 — event-incremental routing/activity refresh.
+    pub routing_ns: u64,
+    /// Phase 6 — the chunked battery-drain kernel.
+    pub drain_ns: u64,
+    /// Phase 7 — crossing-heap request scan + batched planning.
+    pub dispatch_ns: u64,
+    /// Phase 8 — RV fleet execution.
+    pub fleet_ns: u64,
+    /// Phase 9 — coverage flush + metrics sampling.
+    pub sample_ns: u64,
+}
+
+impl StepTimings {
+    /// Sum over all phases (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.mobility_ns
+            + self.activity_ns
+            + self.faults_ns
+            + self.routing_ns
+            + self.drain_ns
+            + self.dispatch_ns
+            + self.fleet_ns
+            + self.sample_ns
+    }
+}
+
 /// The simulated world. Construct with [`World::new`], then either call
 /// [`World::run`] or drive [`World::step`] tick by tick.
 pub struct World {
@@ -358,6 +397,105 @@ impl World {
         }
         engine::invariants::verify_routing(&self.state)
     }
+
+    /// Switches the dispatch phase to the historical full-scan request
+    /// pass instead of the crossing-heap examine list (DESIGN.md §4j).
+    /// Differential-oracle knob: the two paths are byte-identical, which
+    /// `tests/tick_scale_equivalence.rs` pins across chaos configs. Not
+    /// serialized — a resumed world always runs the fast path.
+    pub fn set_naive_dispatch(&mut self, on: bool) {
+        self.state.naive_dispatch = on;
+    }
+
+    /// Switches the drain phase to the historical per-sensor loop instead
+    /// of the chunked kernel. Differential-oracle knob; byte-identical by
+    /// contract. Not serialized.
+    pub fn set_naive_drain(&mut self, on: bool) {
+        self.state.naive_drain = on;
+    }
+
+    /// Switches cluster maintenance to wholesale rebuild-from-scratch
+    /// instead of incremental repair (DESIGN.md §4f). Differential-oracle
+    /// knob; byte-identical by contract. Enabling it drops the repair
+    /// baseline so later rebuilds don't resume incrementally from stale
+    /// state. Not serialized.
+    pub fn set_naive_repair(&mut self, on: bool) {
+        self.state.naive_repair = on;
+        if on {
+            self.state.repair = None;
+        }
+    }
+
+    /// [`World::step`] with a wall-clock stopwatch around each phase.
+    ///
+    /// Behaviourally identical to `step` (same calls, same order — a
+    /// property `world::tests::step_timed_matches_step` pins bitwise);
+    /// kept as a separate pipeline so the hot `step` path carries no
+    /// timing overhead. Used by the criterion bench for the per-phase
+    /// breakdown in `results/BENCH_tick.json`.
+    pub fn step_timed(&mut self) -> StepTimings {
+        use std::time::Instant;
+        let mut timings = StepTimings::default();
+        let mut clock = Instant::now();
+        let mut lap = |acc: &mut u64| {
+            let now = Instant::now();
+            *acc += (now - clock).as_nanos() as u64;
+            clock = now;
+        };
+
+        let state = &mut self.state;
+        let dt = state.cfg.tick_s;
+
+        engine::mobility::step_targets(state, dt);
+        lap(&mut timings.mobility_ns);
+
+        engine::activity::advance_slots(state);
+        lap(&mut timings.activity_ns);
+
+        engine::faults::step(state, dt);
+        engine::energy::inject_failures(state, dt);
+        lap(&mut timings.faults_ns);
+
+        if state.routing_dirty.any() {
+            engine::activity::refresh_routing(state);
+        }
+        lap(&mut timings.routing_ns);
+
+        engine::energy::drain_sensors(state, dt);
+        lap(&mut timings.drain_ns);
+
+        engine::dispatch::manage_requests(state);
+        if state.t >= state.next_plan_ok && engine::dispatch::should_plan(state) {
+            engine::dispatch::plan_routes(state);
+        }
+        lap(&mut timings.dispatch_ns);
+
+        for i in 0..state.rvs.len() {
+            engine::fleet::step_rv(state, i, dt);
+        }
+        lap(&mut timings.fleet_ns);
+
+        if state.t >= state.next_sample {
+            state.next_sample = state.t + state.cfg.sample_every_s;
+            engine::coverage::flush(state);
+            let alive = state.alive_count();
+            let nonfunctional = 1.0 - alive as f64 / state.cfg.num_sensors.max(1) as f64;
+            let coverage = state.coverage_ratio();
+            state
+                .metrics
+                .sample(state.t, coverage, nonfunctional, alive);
+        }
+
+        state.t += dt;
+        lap(&mut timings.sample_ns);
+
+        #[cfg(debug_assertions)]
+        if let Err(violation) = engine::invariants::check(state) {
+            panic!("invariant violated at t = {} s: {violation}", state.t);
+        }
+
+        timings
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +695,29 @@ mod tests {
             assert!(out.report.recharged_mj > 0.0, "{kind} never recharged");
             assert!(out.rv_energy_shortfall_j < 1.0);
         }
+    }
+
+    #[test]
+    fn step_timed_matches_step() {
+        // The instrumented pipeline must be the same run, bit for bit,
+        // even interleaved with plain stepping mid-run.
+        let mut cfg = tiny_cfg(1.0);
+        cfg.initial_soc = (0.25, 0.9);
+        let mut plain = World::new(&cfg, 19);
+        let mut timed = World::new(&cfg, 19);
+        let mut spent = 0u64;
+        let mut i = 0u32;
+        while !plain.finished() {
+            plain.step();
+            if i.is_multiple_of(3) {
+                timed.step();
+            } else {
+                spent += timed.step_timed().total_ns();
+            }
+            i += 1;
+        }
+        assert_eq!(plain.save_snapshot(), timed.save_snapshot());
+        assert!(spent > 0, "the stopwatch measured something");
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Property-based differential oracles for the event-proportional tick
+//! (DESIGN.md §4f/§4j): the crossing-heap dispatch scan, the chunked
+//! drain kernel and incremental cluster repair must each be
+//! **byte-identical** to the historical naive pipeline they replaced —
+//! not statistically close, the same world, snapshot for snapshot.
+//!
+//! Random churny worlds (deaths, recharges, permanent failures,
+//! transient suspends, lossy uplinks, rota handovers, every target
+//! mobility model) are run twice — fast path vs. the `set_naive_*`
+//! oracle knobs — in lockstep, comparing full `save_snapshot()` bytes as
+//! they go. In debug builds every tick additionally sweeps the
+//! whole-state invariant checker (which audits the crossing watch/seed
+//! coverage); CI runs this suite in **both** profiles so the contract
+//! also holds where debug asserts are compiled out.
+
+use proptest::prelude::*;
+use wrsn_sim::{SimConfig, TargetMobility, World};
+
+prop_compose! {
+    /// Small worlds biased to stress every invalidation rule: everyone
+    /// starts low (crossings + recharges + deaths), faults are common,
+    /// targets move under all three mobility models, and the zero
+    /// data-rate edge (activity flips without load events) is sampled.
+    fn arb_churny_config()(
+        sensors in 20usize..70,
+        targets in 1usize..5,
+        rvs in 1usize..4,
+        field in 40.0f64..100.0,
+        soc_lo in 0.15f64..0.4,
+        round_robin in proptest::bool::ANY,
+        failures in prop_oneof![Just(0.0), Just(0.1)],
+        transients in prop_oneof![Just(0.0), Just(6.0)],
+        uplink_loss in prop_oneof![Just(0.0), Just(0.4)],
+        mobility in prop_oneof![
+            Just(TargetMobility::RandomTeleport),
+            Just(TargetMobility::RandomWaypoint { speed_mps: 0.5 }),
+            Just(TargetMobility::Static),
+        ],
+        zero_rate in proptest::bool::weighted(0.25),
+    ) -> SimConfig {
+        let mut cfg = SimConfig::small(0.5); // half a simulated day
+        cfg.num_sensors = sensors;
+        cfg.num_targets = targets;
+        cfg.num_rvs = rvs;
+        cfg.field_side = field;
+        cfg.initial_soc = (soc_lo, 1.0);
+        cfg.activity.round_robin = round_robin;
+        cfg.permanent_failures_per_day = failures;
+        cfg.faults.transients_per_day = transients;
+        cfg.faults.transient_outage_s = (120.0, 1_800.0);
+        cfg.faults.uplink_loss = uplink_loss;
+        cfg.faults.uplink_backoff_s = 300.0;
+        cfg.faults.uplink_backoff_cap_s = 3_600.0;
+        cfg.target_mobility = mobility;
+        cfg.target_period_s = 5_400.0; // several rebuilds per run
+        if zero_rate {
+            // Activity flips change detector power but produce no relay
+            // load events — the seed path load events cannot cover.
+            cfg.data_rate_pps = 0.0;
+        }
+        cfg.min_batch_demand_j = 10e3;
+        cfg
+    }
+}
+
+/// Builds the naive-oracle twin of a world: every event-proportional
+/// accelerator replaced by the historical full recompute it shadows.
+fn naive_twin(cfg: &SimConfig, seed: u64, dispatch: bool, drain: bool, repair: bool) -> World {
+    let mut w = World::new(cfg, seed);
+    w.set_naive_dispatch(dispatch);
+    w.set_naive_drain(drain);
+    w.set_naive_repair(repair);
+    w
+}
+
+/// Steps `fast` and `slow` in lockstep, demanding byte-identical
+/// snapshots every `every` ticks and at the end.
+fn assert_lockstep(fast: &mut World, slow: &mut World, every: u64) -> Result<(), TestCaseError> {
+    let mut ticks = 0u64;
+    while !fast.finished() {
+        fast.step();
+        slow.step();
+        ticks += 1;
+        if ticks.is_multiple_of(every) {
+            prop_assert_eq!(
+                fast.save_snapshot(),
+                slow.save_snapshot(),
+                "fast and naive worlds diverged at t = {} s",
+                fast.time()
+            );
+        }
+    }
+    prop_assert!(slow.finished());
+    prop_assert_eq!(
+        fast.save_snapshot(),
+        slow.save_snapshot(),
+        "fast and naive worlds diverged at the end of the run"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fast_tick_matches_fully_naive_pipeline(
+        cfg in arb_churny_config(),
+        seed in 0u64..1_000,
+    ) {
+        // The headline property: heap dispatch + chunked drain +
+        // incremental repair together vs. the all-naive pipeline,
+        // snapshot-compared throughout the run.
+        let mut fast = World::new(&cfg, seed);
+        let mut slow = naive_twin(&cfg, seed, true, true, true);
+        assert_lockstep(&mut fast, &mut slow, 16)?;
+    }
+
+    #[test]
+    fn each_accelerator_matches_its_own_oracle(
+        cfg in arb_churny_config(),
+        seed in 0u64..1_000,
+    ) {
+        // Each accelerator isolated against just its own naive twin, so
+        // a divergence names the guilty subsystem instead of the trio.
+        for (dispatch, drain, repair) in
+            [(true, false, false), (false, true, false), (false, false, true)]
+        {
+            let mut fast = World::new(&cfg, seed);
+            let mut slow = naive_twin(&cfg, seed, dispatch, drain, repair);
+            assert_lockstep(&mut fast, &mut slow, 64)?;
+        }
+    }
+
+    #[test]
+    fn fast_path_survives_snapshot_resume(
+        cfg in arb_churny_config(),
+        seed in 0u64..1_000,
+        cut in 50usize..200,
+    ) {
+        // The crossing heap and repair baseline are *not* serialized:
+        // resume restarts them (all-pending scan / one wholesale
+        // rebuild). That restart must be invisible — the resumed world
+        // continues byte-identically to the never-paused one.
+        let mut paused = World::new(&cfg, seed);
+        for _ in 0..cut {
+            if paused.finished() {
+                break;
+            }
+            paused.step();
+        }
+        let mut resumed = match World::resume(&paused.save_snapshot()) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError(format!("resume failed: {e}"))),
+        };
+        let mut ticks = 0u64;
+        while !paused.finished() {
+            paused.step();
+            resumed.step();
+            ticks += 1;
+            if ticks.is_multiple_of(32) {
+                prop_assert_eq!(
+                    paused.save_snapshot(),
+                    resumed.save_snapshot(),
+                    "resumed world diverged at t = {} s",
+                    paused.time()
+                );
+            }
+        }
+        prop_assert_eq!(paused.save_snapshot(), resumed.save_snapshot());
+    }
+}
+
+/// Regression for the dispatch fold (DESIGN.md §4j): outage waits.
+///
+/// A sensor suspended below threshold takes no dispatch action until it
+/// resumes — but the naive scan *re-examines it every tick* of the
+/// outage, and the moment it resumes (or its request is dropped by the
+/// lossy uplink and backs off) the scan acts on exactly that tick. The
+/// crossing heap must reproduce that timing exactly: below-threshold
+/// sensors ride the watch set through the whole outage, and resumes are
+/// explicitly seeded. This pins the combination with per-tick snapshot
+/// granularity rather than the property suite's sampled checkpoints.
+#[test]
+fn outage_wait_dispatch_matches_naive_scan_every_tick() {
+    let mut cfg = SimConfig::small(0.25);
+    cfg.num_sensors = 50;
+    cfg.num_targets = 3;
+    cfg.num_rvs = 2;
+    cfg.field_side = 60.0;
+    cfg.initial_soc = (0.18, 0.55); // most sensors cross the threshold
+    cfg.faults.transients_per_day = 12.0; // frequent outages
+    cfg.faults.transient_outage_s = (300.0, 2_400.0);
+    cfg.faults.uplink_loss = 0.5; // plus retransmit backoff waits
+    cfg.faults.uplink_backoff_s = 240.0;
+    cfg.faults.uplink_backoff_cap_s = 1_800.0;
+    cfg.min_batch_demand_j = 10e3;
+
+    for seed in [3u64, 17, 29] {
+        let mut fast = World::new(&cfg, seed);
+        let mut slow = naive_twin(&cfg, seed, true, false, false);
+        while !fast.finished() {
+            fast.step();
+            slow.step();
+            assert_eq!(
+                fast.save_snapshot(),
+                slow.save_snapshot(),
+                "seed {seed}: heap dispatch diverged from the naive scan at t = {} s",
+                fast.time()
+            );
+        }
+        let out = fast.outcome();
+        assert!(
+            out.transient_faults > 0,
+            "seed {seed}: the scenario never exercised an outage"
+        );
+        assert!(
+            out.uplink_drops > 0,
+            "seed {seed}: the scenario never exercised a backoff wait"
+        );
+    }
+}
